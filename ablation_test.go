@@ -1,0 +1,196 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the dependent-parameter reparameterisation, the adaptive simplex
+// coefficients, evaluation memoisation, and prior-run seeding. Each
+// reports the quantity the design choice is supposed to move.
+package harmony_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/petscsim"
+	"harmony/internal/search"
+	"harmony/internal/space"
+	"harmony/internal/sparse"
+)
+
+// ablationSLES is the shared workload: a 16-partition decomposition
+// problem with smooth density variation.
+func ablationSLES() (*petscsim.SLESApp, *cluster.Machine) {
+	return petscsim.NewBandSLESApp(4000, 16, 4, 100, 2), cluster.Seaborg(16, 1)
+}
+
+// BenchmarkAblationWeightEncoding tunes the decomposition through the
+// relative-weight space (the SC'04-style dependent-parameter
+// handling).
+func BenchmarkAblationWeightEncoding(b *testing.B) {
+	app, m := ablationSLES()
+	def, err := app.Run(m, app.DefaultPartition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		sp := app.Space()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{
+				Start: app.EvenPoint(), StepFraction: 0.3, Adaptive: true, Restarts: 8}),
+			app.Objective(m), core.Options{MaxRuns: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = 100 * (def - res.BestValue) / def
+	}
+	b.ReportMetric(improvement, "%improvement")
+}
+
+// BenchmarkAblationBoundaryEncoding tunes the same problem through
+// raw boundary-row parameters. The ordering constraint couples the
+// dimensions and the simplex stalls — the justification for the
+// weight reparameterisation.
+func BenchmarkAblationBoundaryEncoding(b *testing.B) {
+	app, m := ablationSLES()
+	def, err := app.Run(m, app.DefaultPartition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := app.A.N
+	params := make([]space.Param, app.P-1)
+	for i := range params {
+		params[i] = space.IntParam(fmt.Sprintf("b%d", i+1), 1, int64(n-1), 1)
+	}
+	sp := space.MustNew(params...)
+	start := make(space.Point, app.P-1)
+	for i := range start {
+		start[i] = int64((i+1)*n/app.P) - 1
+	}
+	obj := func(_ context.Context, cfg space.Config) (float64, error) {
+		bounds := make([]int, app.P-1)
+		for i := range bounds {
+			bounds[i] = int(cfg.Int(fmt.Sprintf("b%d", i+1)))
+		}
+		return app.Run(m, sparse.FromBoundaries(n, bounds))
+	}
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{
+				Start: start, StepFraction: 0.05, Adaptive: true, Restarts: 8}),
+			obj, core.Options{MaxRuns: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = 100 * (def - res.BestValue) / def
+	}
+	b.ReportMetric(improvement, "%improvement")
+}
+
+// highDimBowl is a separable quadratic in 16 dimensions with the
+// optimum off-centre.
+func highDimBowl() (*space.Space, func(space.Point) float64) {
+	params := make([]space.Param, 16)
+	for i := range params {
+		params[i] = space.IntParam(fmt.Sprintf("x%d", i), 0, 100, 1)
+	}
+	sp := space.MustNew(params...)
+	f := func(pt space.Point) float64 {
+		var s float64
+		for i, v := range pt {
+			d := float64(v - int64(20+4*i))
+			s += d * d
+		}
+		return s
+	}
+	return sp, f
+}
+
+// BenchmarkAblationAdaptiveCoefficients compares adaptive vs standard
+// Nelder–Mead coefficients in 16 dimensions at a fixed budget.
+func BenchmarkAblationAdaptiveCoefficients(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		name := "standard"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			sp, f := highDimBowl()
+			var best float64
+			for i := 0; i < b.N; i++ {
+				s := search.NewSimplex(sp, search.SimplexOptions{Adaptive: adaptive})
+				for evals := 0; evals < 300; evals++ {
+					pt, ok := s.Next()
+					if !ok {
+						break
+					}
+					s.Report(pt, f(pt))
+				}
+				_, best, _ = s.Best()
+			}
+			b.ReportMetric(best, "best-value")
+		})
+	}
+}
+
+// BenchmarkAblationMemoisation measures how many application runs the
+// evaluation cache saves during a simplex search (proposals that hit
+// already-evaluated lattice points are free).
+func BenchmarkAblationMemoisation(b *testing.B) {
+	sp := space.MustNew(
+		space.IntParam("x", 0, 30, 1),
+		space.IntParam("y", 0, 30, 1),
+	)
+	obj := func(_ context.Context, cfg space.Config) (float64, error) {
+		dx := float64(cfg.Int("x") - 20)
+		dy := float64(cfg.Int("y") - 8)
+		return dx*dx + dy*dy, nil
+	}
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{Restarts: 6}), obj, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = float64(res.Proposals - res.Runs)
+	}
+	b.ReportMetric(saved, "runs-saved")
+}
+
+// BenchmarkAblationSeeding compares cold starts against prior-run
+// seeded starts at a fixed small budget.
+func BenchmarkAblationSeeding(b *testing.B) {
+	sp, f := highDimBowl()
+	// A prior "tuned" point near the optimum.
+	seed := make(space.Point, sp.Dims())
+	for i := range seed {
+		seed[i] = int64(21 + 4*i)
+	}
+	for _, seeded := range []bool{false, true} {
+		name := "cold"
+		if seeded {
+			name = "seeded"
+		}
+		b.Run(name, func(b *testing.B) {
+			var best float64
+			for i := 0; i < b.N; i++ {
+				opt := search.SimplexOptions{Adaptive: true}
+				if seeded {
+					opt.Seeds = []space.Point{seed}
+				}
+				s := search.NewSimplex(sp, opt)
+				for evals := 0; evals < 60; evals++ {
+					pt, ok := s.Next()
+					if !ok {
+						break
+					}
+					s.Report(pt, f(pt))
+				}
+				_, best, _ = s.Best()
+			}
+			b.ReportMetric(best, "best-value")
+		})
+	}
+}

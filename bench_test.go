@@ -1,0 +1,371 @@
+// Benchmarks regenerating each table and figure of the paper at
+// reduced scale (the full-scale regeneration is cmd/repro). One
+// benchmark iteration = one complete tuning campaign (or one
+// full sampling pass), so ns/op measures the cost of reproducing the
+// experiment, and the reported custom metrics carry the experiment's
+// headline result.
+package harmony_test
+
+import (
+	"context"
+	"testing"
+
+	"harmony"
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/gs2"
+	"harmony/internal/petscsim"
+	"harmony/internal/pop"
+	"harmony/internal/search"
+	"harmony/internal/simmpi"
+	"harmony/internal/space"
+	"harmony/internal/sparse"
+	"harmony/internal/trace"
+)
+
+// reportImprovement attaches the experiment's headline number to the
+// benchmark output.
+func reportImprovement(b *testing.B, def, tuned float64) {
+	b.Helper()
+	if def > 0 {
+		b.ReportMetric(100*(def-tuned)/def, "%improvement")
+	}
+}
+
+// BenchmarkFig2PETScDecompositionSmall tunes the 4-partition SLES
+// decomposition of Fig. 2(b).
+func BenchmarkFig2PETScDecompositionSmall(b *testing.B) {
+	app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
+	m := cluster.Seaborg(4, 1)
+	def, err := app.Run(m, app.DefaultPartition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuned float64
+	for i := 0; i < b.N; i++ {
+		sp := app.Space()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{Start: app.EvenPoint(), Adaptive: true, Restarts: 4}),
+			app.Objective(m), core.Options{MaxRuns: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned = res.BestValue
+	}
+	reportImprovement(b, def, tuned)
+}
+
+// BenchmarkFig2PETScDecompositionLarge tunes a reduced version of the
+// 21,025×21,025, 32-rank decomposition (Section IV text, 18%).
+func BenchmarkFig2PETScDecompositionLarge(b *testing.B) {
+	app := petscsim.NewBandSLESApp(6000, 16, 4, 120, 2)
+	m := cluster.Seaborg(16, 1)
+	def, err := app.Run(m, app.DefaultPartition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuned float64
+	for i := 0; i < b.N; i++ {
+		sp := app.Space()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{
+				Start: app.EvenPoint(), StepFraction: 0.2, Adaptive: true, Restarts: 8}),
+			app.Objective(m), core.Options{MaxRuns: 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned = res.BestValue
+	}
+	reportImprovement(b, def, tuned)
+}
+
+// BenchmarkFig3ComputationDistribution tunes the SNES grid
+// distribution on the heterogeneous lab machine (Fig. 3(b)).
+func BenchmarkFig3ComputationDistribution(b *testing.B) {
+	app := petscsim.NewCavityApp(40, 40, 2, 2)
+	m := cluster.HeterogeneousLab()
+	xb, yb := app.DefaultBounds()
+	def, err := app.Run(m, xb, yb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuned float64
+	for i := 0; i < b.N; i++ {
+		sp := app.Space()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{}),
+			app.Objective(m), core.Options{MaxRuns: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned = res.BestValue
+	}
+	reportImprovement(b, def, tuned)
+}
+
+// BenchmarkFig4POPBlockSize tunes POP block sizes on one topology of
+// the reduced grid.
+func BenchmarkFig4POPBlockSize(b *testing.B) {
+	cfg := pop.DefaultConfig(720, 480)
+	cfg.Steps, cfg.BarotropicIters = 2, 4
+	m := cluster.Seaborg(8, 4)
+	def, err := pop.Run(m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuned float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := pop.BlockSpace()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{Start: pop.BlockStart(cfg.BX, cfg.BY)}),
+			pop.BlockObjective(m, cfg), core.Options{MaxRuns: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned = res.BestValue
+	}
+	reportImprovement(b, def, tuned)
+}
+
+// BenchmarkTable1POPParameterSweep runs the coordinate-descent
+// namelist sweep behind Tables I and II.
+func BenchmarkTable1POPParameterSweep(b *testing.B) {
+	m := cluster.Hockney(4, 4)
+	cfg := pop.DefaultConfig(360, 240)
+	cfg.BX, cfg.BY = 45, 60
+	cfg.Steps, cfg.BarotropicIters = 2, 4
+	def, err := pop.Run(m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuned float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := pop.NamelistSpace()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewCoordinate(sp, search.CoordinateOptions{Start: pop.NamelistStart(), MaxPasses: 1}),
+			pop.NamelistObjective(m, cfg), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned = res.BestValue
+	}
+	reportImprovement(b, def, tuned)
+}
+
+// BenchmarkFig5GS2Layout measures the layout comparison of Fig. 5 on
+// one environment.
+func BenchmarkFig5GS2Layout(b *testing.B) {
+	m := cluster.Seaborg(8, 16)
+	var lx, yx float64
+	for i := 0; i < b.N; i++ {
+		for _, l := range []gs2.Layout{"lxyes", "yxles"} {
+			cfg := gs2.DefaultConfig()
+			cfg.Layout = l
+			secs, err := gs2.Run(m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if l == "lxyes" {
+				lx = secs
+			} else {
+				yx = secs
+			}
+		}
+	}
+	if yx > 0 {
+		b.ReportMetric(lx/yx, "layout-speedup")
+	}
+}
+
+// BenchmarkTable3GS2Benchmark tunes (negrid, ntheta, nodes) for a
+// benchmarking run.
+func BenchmarkTable3GS2Benchmark(b *testing.B) {
+	benchGS2Tuning(b, 10)
+}
+
+// BenchmarkTable4GS2Production tunes the same space for production
+// runs (extrapolated 1,000 steps).
+func BenchmarkTable4GS2Production(b *testing.B) {
+	benchGS2Tuning(b, 1000)
+}
+
+func benchGS2Tuning(b *testing.B, steps int) {
+	b.Helper()
+	base := gs2.DefaultConfig()
+	base.Steps = steps
+	def, err := gs2.Run(gs2.LinuxCluster(32), base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tuned float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := gs2.ResolutionSpace(64)
+		res, err := core.Tune(context.Background(), sp,
+			search.NewSimplex(sp, search.SimplexOptions{
+				Start: gs2.ResolutionStart(sp, 16, 26, 32), StepFraction: 0.5, Restarts: 12}),
+			gs2.ResolutionObjective(gs2.LinuxCluster, base), core.Options{MaxRuns: 35})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned = res.BestValue
+	}
+	reportImprovement(b, def, tuned)
+}
+
+// BenchmarkFig6GS2Distribution samples the GS2 configuration space
+// systematically, as in Fig. 6.
+func BenchmarkFig6GS2Distribution(b *testing.B) {
+	base := gs2.DefaultConfig()
+	base.Steps = 1000
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		sp := gs2.ResolutionSpace(32)
+		sys := search.NewSystematic(sp, 100)
+		_, err := core.Tune(context.Background(), sp, sys,
+			gs2.ResolutionObjective(gs2.LinuxCluster, base), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := trace.Summarize(sys.Values)
+		frac = trace.FractionBelow(sys.Values, sum.Min*1.6)
+	}
+	b.ReportMetric(100*frac, "%within-1.6x-of-best")
+}
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkSimplexProposals measures the raw proposal rate of the
+// tuning kernel on a cheap objective.
+func BenchmarkSimplexProposals(b *testing.B) {
+	sp := space.MustNew(
+		space.IntParam("x", 0, 1000, 1),
+		space.IntParam("y", 0, 1000, 1),
+		space.IntParam("z", 0, 1000, 1),
+	)
+	s := search.NewSimplex(sp, search.SimplexOptions{Restarts: 1 << 30})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, ok := s.Next()
+		if !ok {
+			b.Fatal("simplex stopped despite unlimited restarts")
+		}
+		d0 := float64(pt[0] - 700)
+		d1 := float64(pt[1] - 123)
+		d2 := float64(pt[2] - 400)
+		s.Report(pt, d0*d0+d1*d1+d2*d2)
+	}
+}
+
+// BenchmarkSimMPIAllreduce measures the virtual-time allreduce.
+func BenchmarkSimMPIAllreduce(b *testing.B) {
+	m := cluster.Seaborg(4, 8)
+	b.ResetTimer()
+	_, err := simmpi.Run(m, 32, func(r *simmpi.Rank) {
+		for i := 0; i < b.N; i++ {
+			r.Allreduce1(simmpi.Sum, float64(r.ID()))
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDistMatVec measures one distributed sparse matrix-vector
+// product, simulation costs included.
+func BenchmarkDistMatVec(b *testing.B) {
+	a := sparse.Poisson2D(100, 100)
+	part := sparse.EvenPartition(a.N, 8)
+	dm, err := sparse.NewDistMatrix(a, part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	m := cluster.Seaborg(8, 1)
+	b.ResetTimer()
+	_, err = simmpi.Run(m, 8, func(r *simmpi.Rank) {
+		xl := dm.Scatter(r.ID(), x)
+		for i := 0; i < b.N; i++ {
+			dm.MatVec(r, 7, xl)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGS2MoveMatrix measures the redistribution-plan
+// computation.
+func BenchmarkGS2MoveMatrix(b *testing.B) {
+	d := gs2.DefaultConfig().Dims()
+	for i := 0; i < b.N; i++ {
+		gs2.MoveMatrix(d, "lxyes", "xyles", 64)
+	}
+}
+
+// BenchmarkOnlineProtocol measures a fetch/report round trip through
+// the TCP server.
+func BenchmarkOnlineProtocol(b *testing.B) {
+	srv := harmony.NewServer()
+	srv.Logf = func(string, ...any) {}
+	go srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	for srv.Addr() == nil {
+	}
+	c, err := harmony.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Register(harmony.Registration{
+		App:   "bench",
+		Space: harmony.MustNewSpace(harmony.IntParam("x", 0, 1000, 1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		values, converged, err := sess.Fetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if converged {
+			continue
+		}
+		_ = values
+		if err := sess.Report(float64(i % 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPROProposals measures the raw proposal rate of the PRO
+// population search.
+func BenchmarkPROProposals(b *testing.B) {
+	sp := space.MustNew(
+		space.IntParam("x", 0, 1000, 1),
+		space.IntParam("y", 0, 1000, 1),
+		space.IntParam("z", 0, 1000, 1),
+	)
+	s := search.NewPRO(sp, search.PROOptions{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, ok := s.Next()
+		if !ok {
+			b.StopTimer()
+			s = search.NewPRO(sp, search.PROOptions{Seed: int64(i)})
+			b.StartTimer()
+			continue
+		}
+		d0 := float64(pt[0] - 700)
+		d1 := float64(pt[1] - 123)
+		d2 := float64(pt[2] - 400)
+		s.Report(pt, d0*d0+d1*d1+d2*d2)
+	}
+}

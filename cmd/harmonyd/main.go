@@ -1,0 +1,43 @@
+// Command harmonyd runs the Active Harmony tuning server for on-line
+// tuning: applications connect over TCP, register their tunable
+// parameters, then alternate fetching configurations and reporting
+// measured performance while they run.
+//
+// Usage:
+//
+//	harmonyd [-addr host:port] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"harmony/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
+	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	flag.Parse()
+
+	s := server.New()
+	if *quiet {
+		s.Logf = func(string, ...any) {}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		log.Println("harmonyd: shutting down")
+		s.Close()
+	}()
+
+	fmt.Printf("harmonyd: listening on %s\n", *addr)
+	if err := s.ListenAndServe(*addr); err != nil {
+		log.Fatalf("harmonyd: %v", err)
+	}
+}

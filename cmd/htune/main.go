@@ -1,0 +1,218 @@
+// Command htune is the generic off-line tuning driver: the
+// "representative short runs" mode this paper added to Active
+// Harmony. Given a JSON specification of the tunable parameters and a
+// command template, htune runs the command once per tuning iteration
+// with the parameter values substituted, measures its performance,
+// and searches for the best configuration — no modification of the
+// tuned program required.
+//
+// Usage:
+//
+//	htune [-history file] spec.json
+//
+// Specification format:
+//
+//	{
+//	  "app": "myapp",
+//	  "machine": "cluster-a",
+//	  "strategy": "simplex",            // simplex|pro|coordinate|random|systematic|exhaustive
+//	  "max_runs": 40,
+//	  "metric": "time",                 // "time" (wall clock) or "stdout" (last number printed)
+//	  "params": [
+//	    {"name": "threads", "kind": "int", "min": 1, "max": 64, "step": 1},
+//	    {"name": "alg", "kind": "enum", "values": ["heap", "quick"]}
+//	  ],
+//	  "command": ["./run.sh", "--threads={threads}", "--alg={alg}"]
+//	}
+//
+// Every occurrence of {name} in the command arguments is replaced by
+// the parameter's value. In addition the environment of the child
+// process receives HT_<NAME>=<value> for every parameter, so scripts
+// can read parameters without argument plumbing.
+//
+// With -history, prior tuning results for the same app are used to
+// seed the search, and the outcome of this session is appended.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"flag"
+
+	"harmony/internal/core"
+	"harmony/internal/history"
+	"harmony/internal/proto"
+	"harmony/internal/search"
+	"harmony/internal/space"
+)
+
+// Spec is the htune input file.
+type Spec struct {
+	App      string            `json:"app"`
+	Machine  string            `json:"machine"`
+	Strategy string            `json:"strategy"`
+	MaxRuns  int               `json:"max_runs"`
+	Metric   string            `json:"metric"`
+	Seed     int64             `json:"seed"`
+	Params   []proto.ParamSpec `json:"params"`
+	Command  []string          `json:"command"`
+}
+
+func main() {
+	historyPath := flag.String("history", "", "tuning-history file for seeding and recording")
+	verbose := flag.Bool("v", false, "log each run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-v] spec.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *historyPath, *verbose); err != nil {
+		log.Fatalf("htune: %v", err)
+	}
+}
+
+func run(specPath, historyPath string, verbose bool) error {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("parsing %s: %w", specPath, err)
+	}
+	if len(spec.Command) == 0 {
+		return fmt.Errorf("spec has no command")
+	}
+	sp, err := proto.DecodeSpace(spec.Params)
+	if err != nil {
+		return err
+	}
+	if spec.MaxRuns == 0 {
+		spec.MaxRuns = 40
+	}
+
+	var store *history.Store
+	var seeds []space.Point
+	if historyPath != "" {
+		store, err = history.Open(historyPath)
+		if err != nil {
+			return err
+		}
+		seeds = store.SeedsFor(spec.App, spec.Machine, sp, sp.Dims())
+		if len(seeds) > 0 {
+			fmt.Printf("htune: seeding search with %d prior configurations\n", len(seeds))
+		}
+	}
+
+	strat, err := buildStrategy(spec, sp, seeds)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{MaxRuns: spec.MaxRuns}
+	if verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	res, err := core.Tune(context.Background(), sp, strat, objective(spec), opt)
+	if err != nil {
+		return err
+	}
+
+	if res.Best == nil {
+		return fmt.Errorf("all %d runs failed; nothing to tune", res.Runs)
+	}
+	fmt.Printf("htune: best configuration after %d runs (%d failures):\n", res.Runs, res.Failures)
+	fmt.Printf("  %s\n", res.BestConfig.Format())
+	fmt.Printf("  objective %.6g (first run %.6g, improvement %.1f%%, speedup %.2fx)\n",
+		res.BestValue, res.FirstValue, 100*res.Improvement(), res.Speedup())
+	fmt.Printf("  total tuning cost: %.1f s of application time\n", res.TuningCost)
+
+	if store != nil {
+		if err := store.Add(history.Record{
+			App: spec.App, Machine: spec.Machine,
+			Best: res.BestConfig.Map(), BestValue: res.BestValue, Runs: res.Runs,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("htune: recorded result in %s\n", historyPath)
+	}
+	return nil
+}
+
+func buildStrategy(spec Spec, sp *space.Space, seeds []space.Point) (search.Strategy, error) {
+	switch spec.Strategy {
+	case "", proto.StrategySimplex:
+		return search.NewSimplex(sp, search.SimplexOptions{Seeds: seeds, Adaptive: sp.Dims() >= 8}), nil
+	case proto.StrategyCoordinate:
+		return search.NewCoordinate(sp, search.CoordinateOptions{}), nil
+	case proto.StrategyPRO:
+		return search.NewPRO(sp, search.PROOptions{Seed: spec.Seed}), nil
+	case proto.StrategyRandom:
+		return search.NewRandom(sp, spec.Seed, spec.MaxRuns), nil
+	case proto.StrategySystematic:
+		return search.NewSystematic(sp, spec.MaxRuns), nil
+	case proto.StrategyExhaustive:
+		if sp.Size() > 100000 {
+			return nil, fmt.Errorf("space too large for exhaustive search (%d points)", sp.Size())
+		}
+		return search.NewExhaustive(sp), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", spec.Strategy)
+	}
+}
+
+// objective launches one benchmarking run of the command with the
+// configuration substituted and returns its measured performance.
+func objective(spec Spec) core.Objective {
+	return func(ctx context.Context, cfg space.Config) (float64, error) {
+		values := cfg.Map()
+		args := make([]string, len(spec.Command)-1)
+		for i, tmpl := range spec.Command[1:] {
+			args[i] = substitute(tmpl, values)
+		}
+		cmd := exec.CommandContext(ctx, substitute(spec.Command[0], values), args...)
+		cmd.Env = os.Environ()
+		for name, v := range values {
+			cmd.Env = append(cmd.Env, "HT_"+strings.ToUpper(name)+"="+v)
+		}
+		start := time.Now()
+		out, err := cmd.Output()
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return 0, fmt.Errorf("command failed: %w", err)
+		}
+		if spec.Metric == "stdout" {
+			return lastFloat(string(out))
+		}
+		return elapsed, nil
+	}
+}
+
+func substitute(tmpl string, values map[string]string) string {
+	out := tmpl
+	for name, v := range values {
+		out = strings.ReplaceAll(out, "{"+name+"}", v)
+	}
+	return out
+}
+
+// lastFloat parses the last whitespace-separated token of the output
+// that is a valid number.
+func lastFloat(out string) (float64, error) {
+	fields := strings.Fields(out)
+	for i := len(fields) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("no numeric value in command output %q", strings.TrimSpace(out))
+}

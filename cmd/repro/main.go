@@ -1,0 +1,123 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	repro [flags] <experiment>
+//
+// Experiments: fig2, fig3, fig4, fig5, fig6, table1, table2, table3,
+// table4, all.
+//
+// Flags:
+//
+//	-quick   shrink problem sizes and budgets (seconds instead of
+//	         minutes; used by tests)
+//	-large   also run the large-problem variants of fig2/fig3
+//	-seed N  random seed for seeded strategies
+//
+// Absolute simulated seconds are not expected to match the paper's
+// testbeds; the shapes (who wins, by what factor, where the optimum
+// moves) are the reproduction target. EXPERIMENTS.md records both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type options struct {
+	quick bool
+	large bool
+	seed  int64
+}
+
+var experiments = map[string]struct {
+	run  func(o options) error
+	desc string
+}{
+	"fig2":     {runFig2, "PETSc matrix-decomposition tuning (SLES)"},
+	"fig3":     {runFig3, "PETSc computation-distribution tuning (SNES)"},
+	"fig4":     {runFig4, "POP block-size tuning across topologies"},
+	"table1":   {runTable1, "POP parameter changes through iterations"},
+	"table2":   {runTable2, "POP parameters before/after tuning"},
+	"fig5":     {runFig5, "GS2 layout tuning across environments"},
+	"table3":   {runTable3, "GS2 benchmarking-run tuning"},
+	"table4":   {runTable4, "GS2 production-run tuning"},
+	"fig6":     {runFig6, "GS2 configuration-performance distribution"},
+	"online":   {runOnline, "extension: on-line vs off-line tuning (the paper's future work)"},
+	"fidelity": {runFidelity, "extension: fidelity-aware objectives (the paper's Section VII)"},
+}
+
+var experimentOrder = []string{
+	"fig2", "fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "fig6", "online", "fidelity",
+}
+
+func main() {
+	var o options
+	flag.BoolVar(&o.quick, "quick", false, "shrink problem sizes and budgets")
+	flag.BoolVar(&o.large, "large", false, "also run large-problem variants")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for randomised strategies")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range experimentOrder {
+			if err := runOne(n, o); err != nil {
+				fmt.Fprintf(os.Stderr, "repro %s: %v\n", n, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := runOne(name, o); err != nil {
+		fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func runOne(name string, o options) error {
+	exp, ok := experiments[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try: %s, all)", name, strings.Join(experimentOrder, ", "))
+	}
+	banner(fmt.Sprintf("%s — %s", name, exp.desc))
+	start := time.Now()
+	if err := exp.run(o); err != nil {
+		return err
+	}
+	fmt.Printf("[%s completed in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: repro [-quick] [-large] [-seed N] <experiment>\n\nexperiments:\n")
+	names := make([]string, 0, len(experiments))
+	for n := range experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", n, experiments[n].desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-8s run everything in paper order\n", "all")
+}
+
+func banner(s string) {
+	line := strings.Repeat("=", len(s)+4)
+	fmt.Printf("%s\n| %s |\n%s\n", line, s, line)
+}
+
+func pct(base, tuned float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (base - tuned) / base
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+// TestExperimentRegistry checks every advertised experiment is
+// runnable and ordered.
+func TestExperimentRegistry(t *testing.T) {
+	if len(experimentOrder) != len(experiments) {
+		t.Fatalf("order lists %d experiments, registry has %d", len(experimentOrder), len(experiments))
+	}
+	for _, name := range experimentOrder {
+		if _, ok := experiments[name]; !ok {
+			t.Errorf("ordered experiment %q not registered", name)
+		}
+	}
+}
+
+// TestQuickExperimentsSmoke runs the fastest experiments end to end
+// in quick mode; the heavyweight ones are covered by the bench
+// harness and cmd/repro itself.
+func TestQuickExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := options{quick: true, seed: 1}
+	for _, name := range []string{"fig5", "table1", "table2", "fig4"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := experiments[name].run(o); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("fig99", options{}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(100, 80); got != 20 {
+		t.Errorf("pct = %v, want 20", got)
+	}
+	if got := pct(0, 10); got != 0 {
+		t.Errorf("pct(0,·) = %v, want 0", got)
+	}
+}

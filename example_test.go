@@ -1,0 +1,82 @@
+package harmony_test
+
+import (
+	"context"
+	"fmt"
+
+	"harmony"
+)
+
+// ExampleTune tunes a toy objective off-line with the integer-adapted
+// simplex — the paper's "representative short runs" workflow in six
+// lines.
+func ExampleTune() {
+	sp := harmony.MustNewSpace(
+		harmony.IntParam("buffer", 1, 256, 1),
+		harmony.EnumParam("algorithm", "heap", "quick"),
+	)
+	objective := func(_ context.Context, cfg harmony.Config) (float64, error) {
+		d := float64(cfg.Int("buffer") - 100)
+		seconds := 1 + d*d/1000
+		if cfg.String("algorithm") == "heap" {
+			seconds += 0.5
+		}
+		return seconds, nil
+	}
+	res, err := harmony.Tune(context.Background(), sp,
+		harmony.NewSimplex(sp, harmony.SimplexOptions{}),
+		objective, harmony.Options{MaxRuns: 60})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.BestConfig.Format())
+	// Output: buffer=100 algorithm=quick
+}
+
+// ExampleSensitivity extracts per-parameter impact from the trial log
+// a tuning session already produced.
+func ExampleSensitivity() {
+	sp := harmony.MustNewSpace(
+		harmony.EnumParam("mixing", "anis", "del2"),
+		harmony.EnumParam("interp", "nearest", "4point"),
+	)
+	objective := func(_ context.Context, cfg harmony.Config) (float64, error) {
+		seconds := 10.0
+		if cfg.String("mixing") == "anis" {
+			seconds += 4 // the dominant cost
+		}
+		if cfg.String("interp") == "nearest" {
+			seconds += 1
+		}
+		return seconds, nil
+	}
+	res, _ := harmony.Tune(context.Background(), sp,
+		harmony.NewExhaustive(sp), objective, harmony.Options{})
+	for _, s := range harmony.Sensitivity(sp, res.Trials) {
+		fmt.Printf("%s best=%s\n", s.Name, s.BestValue)
+	}
+	// Output:
+	// mixing best=del2
+	// interp best=4point
+}
+
+// ExampleComposite folds a fidelity metric into the objective, the
+// paper's Section VII proposal.
+func ExampleComposite() {
+	sp := harmony.MustNewSpace(harmony.IntParam("resolution", 1, 10, 1))
+	execTime := func(_ context.Context, cfg harmony.Config) (float64, error) {
+		return float64(cfg.Int("resolution")), nil // finer = slower
+	}
+	fidelityError := func(_ context.Context, cfg harmony.Config) (float64, error) {
+		return 10 / float64(cfg.Int("resolution")), nil // finer = better
+	}
+	obj, _ := harmony.Composite(
+		harmony.Metric{Name: "time", Weight: 1, Measure: execTime},
+		harmony.Metric{Name: "fidelity", Weight: 2, Measure: fidelityError},
+	)
+	res, _ := harmony.Tune(context.Background(), sp,
+		harmony.NewExhaustive(sp), obj, harmony.Options{})
+	fmt.Println(res.BestConfig.Format())
+	// Output: resolution=4
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# A stand-in external application for the htune example: prints a
+# synthetic "execution time" that depends on the tile size and the
+# unroll factor (sweet spot around tile=128, unroll=4). Any real
+# program that prints a number works the same way.
+tile="$1"
+unroll="$2"
+awk -v t="$tile" -v u="$unroll" 'BEGIN {
+  cache = (log(t/128) / log(2)); if (cache < 0) cache = -cache
+  pipeline = 4 / u + 0.15 * u
+  printf "%.4f\n", 1.0 + 0.6 * cache + pipeline
+}'

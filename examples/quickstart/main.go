@@ -1,0 +1,68 @@
+// Quickstart: tune a synthetic application with the off-line
+// (iterative benchmarking run) mode of Active Harmony.
+//
+// The "application" is a function whose execution time depends on a
+// buffer size, a thread count, and an algorithm choice, with a
+// non-obvious optimum. Harmony's integer-adapted simplex finds a
+// near-optimal configuration in a few dozen representative short
+// runs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"harmony"
+)
+
+// runtimeModel is the synthetic application: seconds as a function of
+// the configuration. Threads help until synchronisation overhead
+// bites; the best buffer size depends on the algorithm.
+func runtimeModel(cfg harmony.Config) float64 {
+	threads := float64(cfg.Int("threads"))
+	buffer := float64(cfg.Int("buffer_kb"))
+	work := 64.0 / threads           // parallel part
+	sync := 0.02 * threads * threads // synchronisation overhead
+	var sweet float64                // algorithm-dependent buffer sweet spot
+	switch cfg.String("algorithm") {
+	case "heap":
+		sweet = 256
+	case "quick":
+		sweet = 1024
+	case "merge":
+		sweet = 512
+	}
+	cache := 0.5 * math.Abs(math.Log2(buffer/sweet))
+	return 1 + work + sync + cache
+}
+
+func main() {
+	sp := harmony.MustNewSpace(
+		harmony.IntParam("threads", 1, 64, 1),
+		harmony.IntParam("buffer_kb", 16, 4096, 16),
+		harmony.EnumParam("algorithm", "heap", "quick", "merge"),
+	)
+	fmt.Printf("search space: %d configurations\n", sp.Size())
+
+	objective := func(_ context.Context, cfg harmony.Config) (float64, error) {
+		secs := runtimeModel(cfg)
+		fmt.Printf("  benchmarking run: %-48s -> %6.2f s\n", cfg.Format(), secs)
+		return secs, nil
+	}
+
+	res, err := harmony.Tune(context.Background(), sp,
+		harmony.NewSimplex(sp, harmony.SimplexOptions{}),
+		objective, harmony.Options{MaxRuns: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nbest configuration: %s\n", res.BestConfig.Format())
+	fmt.Printf("execution time %.2f s (first run %.2f s, %.1f%% better, %.2fx speedup)\n",
+		res.BestValue, res.FirstValue, 100*res.Improvement(), res.Speedup())
+	fmt.Printf("tuning used %d application runs (%d simplex proposals)\n", res.Runs, res.Proposals)
+}

@@ -1,0 +1,3 @@
+module harmony
+
+go 1.22

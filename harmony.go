@@ -1,0 +1,210 @@
+// Package harmony is a from-scratch Go implementation of the Active
+// Harmony automated performance-tuning system, reproducing Chung &
+// Hollingsworth, "A Case Study Using Automatic Performance Tuning for
+// Large-Scale Scientific Programs" (HPDC 2006).
+//
+// The package re-exports the stable public surface of the tuning
+// system:
+//
+//   - parameter spaces (integer and enumerated tunables),
+//   - search strategies: the integer-adapted Nelder–Mead simplex (the
+//     Harmony kernel), coordinate descent, random, systematic
+//     sampling, and exhaustive enumeration,
+//   - the off-line iterative tuner (Tune) that drives an application
+//     objective through representative short runs,
+//   - the on-line client/server protocol (Server, Client) with which
+//     a running application fetches configurations and reports
+//     performance,
+//   - prior-run history for seeding later sessions, and
+//   - the Library Specification Layer for runtime-switchable library
+//     implementations.
+//
+// The application simulators the paper's evaluation needs (the
+// mini-PETSc stack, the POP ocean model, the GS2 plasma code, and the
+// virtual-time cluster they run on) live under internal/ and are
+// exercised by the cmd/repro experiment driver, the examples, and the
+// benchmarks in this directory.
+//
+// Quickstart (off-line tuning of any function of integer/enum
+// parameters):
+//
+//	sp := harmony.MustNewSpace(
+//		harmony.IntParam("threads", 1, 64, 1),
+//		harmony.EnumParam("algorithm", "heap", "quick"),
+//	)
+//	strat := harmony.NewSimplex(sp, harmony.SimplexOptions{})
+//	res, err := harmony.Tune(ctx, sp, strat, objective, harmony.Options{MaxRuns: 40})
+package harmony
+
+import (
+	"context"
+
+	"harmony/internal/client"
+	"harmony/internal/core"
+	"harmony/internal/history"
+	"harmony/internal/libspec"
+	"harmony/internal/search"
+	"harmony/internal/server"
+	"harmony/internal/space"
+)
+
+// Parameter-space types.
+type (
+	// Space is an ordered set of tunable parameters.
+	Space = space.Space
+	// Param is one tunable parameter.
+	Param = space.Param
+	// Point is a location in a space, in lattice coordinates.
+	Point = space.Point
+	// Config is a decoded point: concrete parameter values.
+	Config = space.Config
+	// Constraint restricts a space to feasible points.
+	Constraint = space.Constraint
+)
+
+// NewSpace builds a space from parameters.
+func NewSpace(params ...Param) (*Space, error) { return space.New(params...) }
+
+// MustNewSpace is NewSpace, panicking on error.
+func MustNewSpace(params ...Param) *Space { return space.MustNew(params...) }
+
+// IntParam declares a bounded integer parameter with a step.
+func IntParam(name string, min, max, step int64) Param { return space.IntParam(name, min, max, step) }
+
+// EnumParam declares an enumerated (categorical) parameter.
+func EnumParam(name string, values ...string) Param { return space.EnumParam(name, values...) }
+
+// Search strategies.
+type (
+	// Strategy is the ask/tell interface all search methods share.
+	Strategy = search.Strategy
+	// Simplex is the integer-adapted Nelder–Mead strategy.
+	Simplex = search.Simplex
+	// SimplexOptions configure a Simplex.
+	SimplexOptions = search.SimplexOptions
+	// Coordinate is greedy one-parameter-at-a-time descent.
+	Coordinate = search.Coordinate
+	// CoordinateOptions configure a Coordinate.
+	CoordinateOptions = search.CoordinateOptions
+	// Random samples uniformly at random.
+	Random = search.Random
+	// Systematic samples an even grid over the space.
+	Systematic = search.Systematic
+	// Exhaustive enumerates every feasible point.
+	Exhaustive = search.Exhaustive
+	// PRO is the Parallel Rank Order population search.
+	PRO = search.PRO
+	// PROOptions configure a PRO.
+	PROOptions = search.PROOptions
+)
+
+// NewSimplex constructs the integer-adapted Nelder–Mead strategy.
+func NewSimplex(sp *Space, opt SimplexOptions) *Simplex { return search.NewSimplex(sp, opt) }
+
+// NewCoordinate constructs a coordinate-descent strategy.
+func NewCoordinate(sp *Space, opt CoordinateOptions) *Coordinate {
+	return search.NewCoordinate(sp, opt)
+}
+
+// NewRandom constructs a random strategy with the given seed and
+// sample budget.
+func NewRandom(sp *Space, seed int64, maxSamples int) *Random {
+	return search.NewRandom(sp, seed, maxSamples)
+}
+
+// NewSystematic constructs a systematic (evenly spaced) sampler with
+// the given point budget.
+func NewSystematic(sp *Space, budget int) *Systematic { return search.NewSystematic(sp, budget) }
+
+// NewExhaustive constructs an exhaustive enumerator.
+func NewExhaustive(sp *Space) *Exhaustive { return search.NewExhaustive(sp) }
+
+// NewPRO constructs the Parallel Rank Order population strategy.
+func NewPRO(sp *Space, opt PROOptions) *PRO { return search.NewPRO(sp, opt) }
+
+// Off-line tuning.
+type (
+	// Objective measures one configuration (lower is better).
+	Objective = core.Objective
+	// Options configure a tuning session.
+	Options = core.Options
+	// Result summarises a tuning session.
+	Result = core.Result
+	// Trial is one strategy proposal and its outcome.
+	Trial = core.Trial
+)
+
+// Tune drives a strategy against an objective: the off-line iterative
+// tuning mode the paper adds to Active Harmony. Evaluations are
+// memoised, budgets and cancellation are honoured, and the full trial
+// log is returned.
+func Tune(ctx context.Context, sp *Space, strat Strategy, obj Objective, opt Options) (*Result, error) {
+	return core.Tune(ctx, sp, strat, obj, opt)
+}
+
+// Multi-metric objectives (the paper's Section VII fidelity
+// trade-off).
+type (
+	// Metric is one weighted component of a composite objective.
+	Metric = core.Metric
+	// ParamSensitivity is one row of a Sensitivity report.
+	ParamSensitivity = core.ParamSensitivity
+)
+
+// Composite combines weighted metrics (execution time, fidelity,
+// ...) into one Objective.
+func Composite(metrics ...Metric) (Objective, error) { return core.Composite(metrics...) }
+
+// FidelityFloor makes configurations whose fidelity metric exceeds
+// limit unacceptable.
+func FidelityFloor(limit float64, fidelity Objective) Objective {
+	return core.FidelityFloor(limit, fidelity)
+}
+
+// Sensitivity estimates per-parameter impact from a completed tuning
+// session's trial log.
+func Sensitivity(sp *Space, trials []Trial) []ParamSensitivity {
+	return core.Sensitivity(sp, trials)
+}
+
+// On-line tuning.
+type (
+	// Server is the Harmony tuning server.
+	Server = server.Server
+	// Client is an application-side connection to the server.
+	Client = client.Client
+	// Session is a registered on-line tuning session.
+	Session = client.Session
+	// Registration describes a session to create.
+	Registration = client.Registration
+)
+
+// NewServer constructs a tuning server; start it with ListenAndServe
+// or Serve.
+func NewServer() *Server { return server.New() }
+
+// Dial connects to a Harmony server at addr.
+func Dial(addr string) (*Client, error) { return client.Dial(addr) }
+
+// Prior-run history.
+type (
+	// HistoryStore persists tuning outcomes across sessions.
+	HistoryStore = history.Store
+	// HistoryRecord is one stored tuning outcome.
+	HistoryRecord = history.Record
+)
+
+// OpenHistory opens (or creates) a history store at path.
+func OpenHistory(path string) (*HistoryStore, error) { return history.Open(path) }
+
+// Library Specification Layer.
+type (
+	// SortLibrary is a tunable sorting service, the paper's example
+	// of algorithm selection (heap sort vs. quick sort).
+	SortLibrary = libspec.Library[libspec.SortFunc]
+	// SortFunc sorts a float64 slice ascending.
+	SortFunc = libspec.SortFunc
+)
+
+// NewSortLibrary returns the tunable sorting service.
+func NewSortLibrary() *SortLibrary { return libspec.NewSortLibrary() }

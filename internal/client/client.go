@@ -1,0 +1,173 @@
+// Package client is the application-side API of the Active Harmony
+// on-line tuning protocol.
+//
+// Making an application tunable takes roughly the ten lines the paper
+// reports for the PETSc examples:
+//
+//	c, _ := client.Dial(serverAddr)
+//	sess, _ := c.Register(client.Registration{App: "gs2", Space: sp})
+//	for step := 0; step < steps; step++ {
+//		cfg, _, _ := sess.Fetch()
+//		applyLayout(cfg["layout"])
+//		elapsed := runTimeStep()
+//		sess.Report(elapsed)
+//	}
+//	best, _, _ := sess.Best()
+package client
+
+import (
+	"fmt"
+	"net"
+
+	"harmony/internal/proto"
+	"harmony/internal/space"
+)
+
+// Client is a connection to a Harmony tuning server. It is not safe
+// for concurrent use; open one Client per goroutine.
+type Client struct {
+	conn *proto.Conn
+}
+
+// Dial connects to a Harmony server at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return &Client{conn: proto.NewConn(c)}, nil
+}
+
+// NewFromConn wraps an existing connection; used by tests with
+// net.Pipe.
+func NewFromConn(conn *proto.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Registration describes a tuning session to create.
+type Registration struct {
+	// App names the application; used in server logs and history.
+	App string
+	// Machine identifies the environment (optional).
+	Machine string
+	// Space is the tunable-parameter space.
+	Space *space.Space
+	// Strategy is one of the proto.Strategy* names; empty selects the
+	// simplex.
+	Strategy string
+	// MaxRuns bounds the number of configurations the server will
+	// propose (0 = strategy decides).
+	MaxRuns int
+	// Reporters is the number of clients that will report for each
+	// configuration (one per node of a parallel job). 0 means 1.
+	Reporters int
+	// Seed feeds randomised strategies.
+	Seed int64
+}
+
+// Session is a registered tuning session.
+type Session struct {
+	c  *Client
+	id string
+}
+
+// Register creates a tuning session on the server.
+func (c *Client) Register(reg Registration) (*Session, error) {
+	if reg.Space == nil {
+		return nil, fmt.Errorf("client: registration needs a parameter space")
+	}
+	msg := &proto.Message{
+		Type:      proto.TypeRegister,
+		App:       reg.App,
+		Machine:   reg.Machine,
+		Strategy:  reg.Strategy,
+		Space:     proto.EncodeSpace(reg.Space),
+		MaxRuns:   reg.MaxRuns,
+		Reporters: reg.Reporters,
+		Seed:      reg.Seed,
+	}
+	reply, err := c.roundTrip(msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != proto.TypeRegistered || reply.Session == "" {
+		return nil, fmt.Errorf("client: unexpected register reply %q", reply.Type)
+	}
+	return &Session{c: c, id: reply.Session}, nil
+}
+
+// Attach joins an existing session (for example, a parallel job where
+// rank 0 registered and broadcast the session id).
+func (c *Client) Attach(sessionID string) *Session {
+	return &Session{c: c, id: sessionID}
+}
+
+// ID returns the server-assigned session identifier.
+func (s *Session) ID() string { return s.id }
+
+func (c *Client) roundTrip(msg *proto.Message) (*proto.Message, error) {
+	if err := c.conn.Send(msg); err != nil {
+		return nil, err
+	}
+	reply, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == proto.TypeError {
+		return nil, fmt.Errorf("client: server error: %s", reply.Error)
+	}
+	return reply, nil
+}
+
+// Fetch asks the server which configuration to use next. It returns
+// the parameter values, and converged=true once the search has
+// settled (after which the returned values are the tuned best and no
+// Report is expected).
+func (s *Session) Fetch() (values map[string]string, converged bool, err error) {
+	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeFetch, Session: s.id})
+	if err != nil {
+		return nil, false, err
+	}
+	if reply.Type != proto.TypeConfig {
+		return nil, false, fmt.Errorf("client: unexpected fetch reply %q", reply.Type)
+	}
+	return reply.Values, reply.Converged, nil
+}
+
+// Report delivers the performance measured under the configuration
+// from the preceding Fetch. Lower is better.
+func (s *Session) Report(perf float64) error {
+	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeReport, Session: s.id, Perf: perf})
+	if err != nil {
+		return err
+	}
+	if reply.Type != proto.TypeOK {
+		return fmt.Errorf("client: unexpected report reply %q", reply.Type)
+	}
+	return nil
+}
+
+// Best returns the best configuration and objective seen so far.
+func (s *Session) Best() (values map[string]string, perf float64, err error) {
+	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeBest, Session: s.id})
+	if err != nil {
+		return nil, 0, err
+	}
+	if reply.Type != proto.TypeBestReply {
+		return nil, 0, fmt.Errorf("client: unexpected best reply %q", reply.Type)
+	}
+	return reply.Values, reply.Perf, nil
+}
+
+// Done ends the session on the server.
+func (s *Session) Done() error {
+	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeDone, Session: s.id})
+	if err != nil {
+		return err
+	}
+	if reply.Type != proto.TypeOK {
+		return fmt.Errorf("client: unexpected done reply %q", reply.Type)
+	}
+	return nil
+}

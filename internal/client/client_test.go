@@ -1,0 +1,103 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"harmony/internal/proto"
+	"harmony/internal/space"
+)
+
+// fakeServer answers each received message with the corresponding
+// scripted reply over a net.Pipe.
+func fakeServer(t *testing.T, replies ...*proto.Message) *Client {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go func() {
+		pc := proto.NewConn(b)
+		for _, reply := range replies {
+			if _, err := pc.Recv(); err != nil {
+				return
+			}
+			if err := pc.Send(reply); err != nil {
+				return
+			}
+		}
+	}()
+	return NewFromConn(proto.NewConn(a))
+}
+
+func testSpace() *space.Space {
+	return space.MustNew(space.IntParam("x", 0, 9, 1))
+}
+
+func TestRegisterRejectsNilSpace(t *testing.T) {
+	c := fakeServer(t)
+	if _, err := c.Register(Registration{App: "a"}); err == nil {
+		t.Error("expected error for nil space")
+	}
+}
+
+func TestRegisterUnexpectedReplyType(t *testing.T) {
+	c := fakeServer(t, &proto.Message{Type: proto.TypeOK})
+	if _, err := c.Register(Registration{App: "a", Space: testSpace()}); err == nil {
+		t.Error("expected error for wrong reply type")
+	}
+}
+
+func TestRegisterMissingSessionID(t *testing.T) {
+	c := fakeServer(t, &proto.Message{Type: proto.TypeRegistered})
+	if _, err := c.Register(Registration{App: "a", Space: testSpace()}); err == nil {
+		t.Error("expected error for empty session id")
+	}
+}
+
+func TestServerErrorSurfaced(t *testing.T) {
+	c := fakeServer(t, &proto.Message{Type: proto.TypeError, Error: "nope"})
+	_, err := c.Register(Registration{App: "a", Space: testSpace()})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err = %v, want server error text", err)
+	}
+}
+
+func TestSessionWrongReplyTypes(t *testing.T) {
+	c := fakeServer(t,
+		&proto.Message{Type: proto.TypeRegistered, Session: "s1"},
+		&proto.Message{Type: proto.TypeOK},        // fetch -> wrong
+		&proto.Message{Type: proto.TypeConfig},    // report -> wrong
+		&proto.Message{Type: proto.TypeOK},        // best -> wrong
+		&proto.Message{Type: proto.TypeBestReply}, // done -> wrong
+	)
+	sess, err := c.Register(Registration{App: "a", Space: testSpace()})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, _, err := sess.Fetch(); err == nil {
+		t.Error("Fetch should reject wrong reply type")
+	}
+	if err := sess.Report(1); err == nil {
+		t.Error("Report should reject wrong reply type")
+	}
+	if _, _, err := sess.Best(); err == nil {
+		t.Error("Best should reject wrong reply type")
+	}
+	if err := sess.Done(); err == nil {
+		t.Error("Done should reject wrong reply type")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("expected connection error")
+	}
+}
+
+func TestAttachUsesGivenID(t *testing.T) {
+	c := fakeServer(t)
+	sess := c.Attach("s42")
+	if sess.ID() != "s42" {
+		t.Errorf("ID = %q", sess.ID())
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"harmony/internal/space"
+)
+
+// Metric measures one aspect of a configuration (execution time,
+// output fidelity, ...). Lower is better, as everywhere in the tuner.
+type Metric struct {
+	// Name labels the metric in reports.
+	Name string
+	// Weight scales the metric's contribution to the combined
+	// objective. Weights need not sum to one.
+	Weight float64
+	// Measure evaluates the metric.
+	Measure Objective
+}
+
+// Composite combines several metrics into a single Objective — the
+// mechanism Section VII of the paper proposes for folding quantified
+// accuracy/fidelity trade-offs into the tuning objective ("if these
+// tradeoffs can be quantified, other metrics such as fidelity and
+// scheduling policy can also be specified and integrated into the
+// objective function so the system can automate this tradeoff").
+//
+// The combined value is Σ weight_i · value_i. A metric returning an
+// error fails the whole evaluation; a metric returning +Inf (a hard
+// fidelity floor, say) makes the configuration unacceptable
+// regardless of how fast it is.
+func Composite(metrics ...Metric) (Objective, error) {
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("core: composite objective needs at least one metric")
+	}
+	for _, m := range metrics {
+		if m.Measure == nil {
+			return nil, fmt.Errorf("core: metric %q has no measure", m.Name)
+		}
+		if m.Weight < 0 || math.IsNaN(m.Weight) {
+			return nil, fmt.Errorf("core: metric %q has weight %v", m.Name, m.Weight)
+		}
+	}
+	return func(ctx context.Context, cfg space.Config) (float64, error) {
+		var total float64
+		for _, m := range metrics {
+			v, err := m.Measure(ctx, cfg)
+			if err != nil {
+				return 0, fmt.Errorf("metric %s: %w", m.Name, err)
+			}
+			total += m.Weight * v
+		}
+		return total, nil
+	}, nil
+}
+
+// FidelityFloor wraps a fidelity metric (lower = better fidelity,
+// e.g. a discretisation-error estimate) so that configurations whose
+// fidelity is worse than limit become unacceptable (+Inf): the
+// "informed choices about these tradeoffs" an application expert
+// encodes, automated.
+func FidelityFloor(limit float64, fidelity Objective) Objective {
+	return func(ctx context.Context, cfg space.Config) (float64, error) {
+		v, err := fidelity(ctx, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if v > limit {
+			return math.Inf(1), nil
+		}
+		return v, nil
+	}
+}

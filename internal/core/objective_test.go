@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"harmony/internal/search"
+	"harmony/internal/space"
+)
+
+func TestCompositeWeightsMetrics(t *testing.T) {
+	sp := space.MustNew(space.IntParam("x", 0, 10, 1))
+	timeM := func(_ context.Context, cfg space.Config) (float64, error) {
+		return float64(10 - cfg.Int("x")), nil // faster with bigger x
+	}
+	fidM := func(_ context.Context, cfg space.Config) (float64, error) {
+		return float64(cfg.Int("x")), nil // less accurate with bigger x
+	}
+	obj, err := Composite(
+		Metric{Name: "time", Weight: 1, Measure: timeM},
+		Metric{Name: "fid", Weight: 3, Measure: fidM},
+	)
+	if err != nil {
+		t.Fatalf("Composite: %v", err)
+	}
+	cfg := sp.MustDecode(space.Point{4})
+	got, err := obj(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (10.0 - 4) + 3*4; got != want {
+		t.Errorf("composite = %v, want %v", got, want)
+	}
+	// Heavier fidelity weight moves the optimum toward small x.
+	res, err := Tune(context.Background(), sp, search.NewExhaustive(sp), obj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestConfig.Int("x") != 0 {
+		t.Errorf("weighted optimum x = %d, want 0", res.BestConfig.Int("x"))
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	if _, err := Composite(); err == nil {
+		t.Error("expected error for no metrics")
+	}
+	if _, err := Composite(Metric{Name: "m", Weight: 1}); err == nil {
+		t.Error("expected error for nil measure")
+	}
+	m := func(context.Context, space.Config) (float64, error) { return 0, nil }
+	if _, err := Composite(Metric{Name: "m", Weight: -1, Measure: m}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := Composite(Metric{Name: "m", Weight: math.NaN(), Measure: m}); err == nil {
+		t.Error("expected error for NaN weight")
+	}
+}
+
+func TestCompositePropagatesErrors(t *testing.T) {
+	sp := space.MustNew(space.IntParam("x", 0, 1, 1))
+	boom := errors.New("boom")
+	obj, err := Composite(Metric{Name: "m", Weight: 1,
+		Measure: func(context.Context, space.Config) (float64, error) { return 0, boom }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj(context.Background(), sp.MustDecode(space.Point{0})); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestFidelityFloor(t *testing.T) {
+	sp := space.MustNew(space.IntParam("x", 0, 10, 1))
+	fid := func(_ context.Context, cfg space.Config) (float64, error) {
+		return float64(cfg.Int("x")), nil
+	}
+	floored := FidelityFloor(5, fid)
+	below, err := floored(context.Background(), sp.MustDecode(space.Point{3}))
+	if err != nil || below != 3 {
+		t.Errorf("below floor: %v, %v", below, err)
+	}
+	above, err := floored(context.Background(), sp.MustDecode(space.Point{7}))
+	if err != nil || !math.IsInf(above, 1) {
+		t.Errorf("above floor: %v, %v (want +Inf)", above, err)
+	}
+}
+
+func TestFidelityFloorSteersTuning(t *testing.T) {
+	// Time improves with x, fidelity floor forbids x > 6: the tuned x
+	// must sit at the floor, not the box edge.
+	sp := space.MustNew(space.IntParam("x", 0, 10, 1))
+	timeM := func(_ context.Context, cfg space.Config) (float64, error) {
+		return float64(100 - 5*cfg.Int("x")), nil
+	}
+	fid := FidelityFloor(6, func(_ context.Context, cfg space.Config) (float64, error) {
+		return float64(cfg.Int("x")), nil
+	})
+	obj, err := Composite(
+		Metric{Name: "time", Weight: 1, Measure: timeM},
+		Metric{Name: "fid", Weight: 0.001, Measure: fid},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(context.Background(), sp, search.NewExhaustive(sp), obj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestConfig.Int("x") != 6 {
+		t.Errorf("tuned x = %d, want the fidelity floor 6", res.BestConfig.Int("x"))
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements the Active Harmony tuning engine: the
+// Adaptation Controller that drives a search strategy against an
+// application objective.
+//
+// The package provides the "off-line" iterative tuning mode this
+// paper added to Active Harmony: every tuning iteration is one
+// representative short run (a benchmarking run) of the application,
+// and configuration changes happen between runs. The same engine,
+// placed behind the TCP protocol in internal/server, provides the
+// pre-existing "on-line" mode where a running application fetches new
+// parameter values mid-execution.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"harmony/internal/search"
+	"harmony/internal/space"
+)
+
+// Objective measures the performance of one configuration: typically
+// the execution time, in seconds, of one representative short run.
+// Lower is better. An error marks the configuration as failed; the
+// tuner records it and treats its value as +Inf so the search moves
+// away from it.
+type Objective func(ctx context.Context, cfg space.Config) (float64, error)
+
+// Options configure a tuning session.
+type Options struct {
+	// MaxRuns bounds the number of actual application runs (distinct
+	// configurations evaluated). Cached re-evaluations are free.
+	// 0 means no bound; the strategy's own termination applies.
+	MaxRuns int
+	// MaxProposals bounds the total number of strategy proposals,
+	// including ones answered from the evaluation cache. It guards
+	// against strategies that never converge. 0 means 10×MaxRuns when
+	// MaxRuns is set, otherwise 10000.
+	MaxProposals int
+	// StopBelow, if non-zero, stops the session as soon as an
+	// evaluation returns a value <= StopBelow.
+	StopBelow float64
+	// RunOverhead is the fixed cost, in seconds, charged to the
+	// tuning-time account for every application run on top of the
+	// measured objective: job launch, warm-up, teardown. The paper
+	// notes that "our experiments take all costs of parameter changes
+	// (including applications needed to be re-run and their warm up
+	// time) into consideration".
+	RunOverhead float64
+	// Logf, if non-nil, receives one line per evaluation.
+	Logf func(format string, args ...any)
+}
+
+// Trial records one strategy proposal and its outcome.
+type Trial struct {
+	// Proposal is the 1-based proposal sequence number.
+	Proposal int
+	// Run is the 1-based application-run number, or 0 if the value
+	// came from the evaluation cache.
+	Run    int
+	Point  space.Point
+	Config space.Config
+	Value  float64
+	Cached bool
+	Err    error
+}
+
+// Result summarises a completed tuning session.
+type Result struct {
+	Strategy   string
+	Best       space.Point
+	BestConfig space.Config
+	BestValue  float64
+	FirstValue float64 // objective of the first evaluated configuration
+	Runs       int     // actual application runs
+	Proposals  int     // strategy proposals (incl. cache hits)
+	Failures   int     // runs whose objective returned an error
+	TuningCost float64 // total seconds spent running the application
+	Converged  bool    // the strategy stopped on its own
+	Trials     []Trial
+	BestAtRun  int // run number that produced the incumbent best
+}
+
+// Improvement returns the fractional improvement of the best value
+// over the first evaluated configuration, e.g. 0.18 for the paper's
+// 18% PETSc result. It returns 0 when no baseline is available.
+func (r *Result) Improvement() float64 {
+	if r.FirstValue <= 0 || math.IsInf(r.FirstValue, 1) {
+		return 0
+	}
+	return (r.FirstValue - r.BestValue) / r.FirstValue
+}
+
+// Speedup returns FirstValue/BestValue, e.g. 3.4 for the paper's GS2
+// layout result. It returns 1 when no baseline is available.
+func (r *Result) Speedup() float64 {
+	if r.BestValue <= 0 || r.FirstValue <= 0 {
+		return 1
+	}
+	return r.FirstValue / r.BestValue
+}
+
+// ErrNoEvaluations is returned when the session ends before any
+// configuration was evaluated.
+var ErrNoEvaluations = errors.New("core: tuning session performed no evaluations")
+
+// Tune drives the strategy against the objective until the strategy
+// converges, a budget is exhausted, StopBelow is reached, or the
+// context is cancelled. It memoises evaluations so that a lattice
+// point proposed twice (common for the snapped simplex) costs only
+// one application run.
+func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
+	if opt.MaxProposals == 0 {
+		if opt.MaxRuns > 0 {
+			opt.MaxProposals = 10 * opt.MaxRuns
+		} else {
+			opt.MaxProposals = 10000
+		}
+	}
+	res := &Result{Strategy: strat.Name(), BestValue: math.Inf(1), FirstValue: math.NaN()}
+	cache := make(map[string]float64)
+	cacheErr := make(map[string]error)
+
+	for res.Proposals < opt.MaxProposals {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		pt, ok := strat.Next()
+		if !ok {
+			res.Converged = true
+			break
+		}
+		res.Proposals++
+		key := pt.Key()
+		cfg, err := sp.Decode(pt)
+		if err != nil {
+			return res, fmt.Errorf("core: strategy %s proposed undecodable point %v: %w", strat.Name(), pt, err)
+		}
+
+		trial := Trial{Proposal: res.Proposals, Point: pt.Clone(), Config: cfg}
+		value, cached := cache[key]
+		if cached {
+			trial.Cached = true
+			trial.Value = value
+			trial.Err = cacheErr[key]
+		} else {
+			if opt.MaxRuns > 0 && res.Runs >= opt.MaxRuns {
+				break
+			}
+			res.Runs++
+			trial.Run = res.Runs
+			v, err := obj(ctx, cfg)
+			if err != nil {
+				if ctx.Err() != nil {
+					return res, ctx.Err()
+				}
+				res.Failures++
+				v = math.Inf(1)
+				trial.Err = err
+			} else {
+				res.TuningCost += v + opt.RunOverhead
+			}
+			value = v
+			trial.Value = v
+			cache[key] = v
+			cacheErr[key] = trial.Err
+			if math.IsNaN(res.FirstValue) {
+				res.FirstValue = v
+			}
+			if v < res.BestValue {
+				res.Best = pt.Clone()
+				res.BestConfig = cfg
+				res.BestValue = v
+				res.BestAtRun = res.Runs
+			}
+			if opt.Logf != nil {
+				opt.Logf("run %3d (proposal %3d): %s -> %.6g", res.Runs, res.Proposals, cfg.Format(), v)
+			}
+		}
+		res.Trials = append(res.Trials, trial)
+		strat.Report(pt, value)
+
+		if opt.StopBelow != 0 && res.BestValue <= opt.StopBelow {
+			break
+		}
+	}
+	if res.Runs == 0 {
+		return res, ErrNoEvaluations
+	}
+	return res, nil
+}

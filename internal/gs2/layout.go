@@ -1,0 +1,240 @@
+// Package gs2 simulates the GS2 gyrokinetic plasma turbulence code of
+// Section VI: a five-dimensional distribution function g(x,y,l,e,s)
+// — two spatial coordinates, two velocity coordinates, and species —
+// whose data layout (the order of the dimensions) is a runtime
+// choice.
+//
+// The layout string orders the dimensions leftmost-fastest; the
+// flattened index space is split contiguously over the ranks. Each
+// time step transforms the data to an (x,y)-local form for the
+// nonlinear terms and to an (l,e)-local form for the implicit/
+// collision work; the cost of each transformation is the exact
+// volume of elements that change owner between the two
+// distributions, exchanged with a simulated all-to-all. A layout that
+// already keeps the needed dimensions fastest (the paper's yxles /
+// yxels recommendations) makes the corresponding transformation free
+// — the mechanism behind the paper's 3.4×/2.3× wins and the
+// topology sensitivity of Fig. 5.
+package gs2
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Layout is a permutation of the dimension letters "xyles",
+// leftmost-fastest. GS2's historical default is "lxyes".
+type Layout string
+
+// DefaultLayout is the layout GS2 shipped with before this paper's
+// tuning campaign.
+const DefaultLayout Layout = "lxyes"
+
+// Layouts lists the layouts compared in Fig. 5.
+func Layouts() []Layout {
+	return []Layout{"lxyes", "xyles", "yxles", "yxels", "lyxes", "exyls"}
+}
+
+// Validate checks the layout is a permutation of "xyles".
+func (l Layout) Validate() error {
+	if len(l) != 5 {
+		return fmt.Errorf("gs2: layout %q must have 5 letters", l)
+	}
+	for _, c := range "xyles" {
+		if !strings.ContainsRune(string(l), c) {
+			return fmt.Errorf("gs2: layout %q missing dimension %q", l, string(c))
+		}
+	}
+	return nil
+}
+
+// front returns a layout with the given dimensions moved to the
+// front (fastest), in their original relative order, followed by the
+// remaining dimensions in their original relative order. This is the
+// target distribution of a phase that needs those dimensions local.
+func (l Layout) front(dims string) Layout {
+	var lead, rest []rune
+	for _, c := range l {
+		if strings.ContainsRune(dims, c) {
+			lead = append(lead, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return Layout(string(lead) + string(rest))
+}
+
+// Dims holds the extent of each dimension.
+type Dims struct {
+	X, Y, L, E, S int
+}
+
+// N returns the total element count.
+func (d Dims) N() int { return d.X * d.Y * d.L * d.E * d.S }
+
+func (d Dims) size(c byte) int {
+	switch c {
+	case 'x':
+		return d.X
+	case 'y':
+		return d.Y
+	case 'l':
+		return d.L
+	case 'e':
+		return d.E
+	case 's':
+		return d.S
+	default:
+		panic(fmt.Sprintf("gs2: unknown dimension %q", string(c)))
+	}
+}
+
+// strides returns the flattened-index stride of each dimension letter
+// under the layout (leftmost fastest).
+func (l Layout) strides(d Dims) map[byte]int {
+	s := make(map[byte]int, 5)
+	stride := 1
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		s[c] = stride
+		stride *= d.size(c)
+	}
+	return s
+}
+
+// MoveMatrix computes, for the redistribution from distribution
+// (home, d, p) to distribution (target, d, p), the number of elements
+// rank i must send to rank j. Elements that stay on their owner are
+// not counted. Both distributions split the respective flattened
+// index space contiguously: owner(flat) = flat·p/N.
+//
+// The computation walks the index space in runs along home's fastest
+// dimension; inside a run both owners are monotone step functions, so
+// each run costs O(owner changes), not O(run length).
+func MoveMatrix(d Dims, home, target Layout, p int) [][]int {
+	if err := home.Validate(); err != nil {
+		panic(err)
+	}
+	if err := target.Validate(); err != nil {
+		panic(err)
+	}
+	if p <= 0 {
+		panic(fmt.Sprintf("gs2: %d ranks", p))
+	}
+	n := d.N()
+	mat := make([][]int, p)
+	for i := range mat {
+		mat[i] = make([]int, p)
+	}
+	if n == 0 {
+		return mat
+	}
+
+	runDim := home[0]
+	runLen := d.size(runDim)
+	hs := home.strides(d)
+	ts := target.strides(d)
+	s2 := ts[runDim]
+
+	// Enumerate the other four dimensions.
+	others := make([]byte, 0, 4)
+	for i := 1; i < len(home); i++ {
+		others = append(others, home[i])
+	}
+	idx := [4]int{}
+	for {
+		// Flat bases of this run in both orders.
+		f1, f2 := 0, 0
+		for k, c := range others {
+			f1 += idx[k] * hs[c]
+			f2 += idx[k] * ts[c]
+		}
+		accumulateRun(mat, f1, f2, s2, runLen, p, n)
+
+		// Odometer over the other dimensions.
+		k := 0
+		for ; k < 4; k++ {
+			idx[k]++
+			if idx[k] < d.size(others[k]) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == 4 {
+			break
+		}
+	}
+	return mat
+}
+
+// accumulateRun distributes a run of `length` elements starting at
+// home flat index f1 (stride 1) and target flat index f2 (stride s2)
+// into mat[homeOwner][targetOwner].
+func accumulateRun(mat [][]int, f1, f2, s2, length, p, n int) {
+	k := 0
+	for k < length {
+		o1 := (f1 + k) * p / n
+		o2 := (f2 + k*s2) * p / n
+		// Next k where o1 changes: (f1+k')·p >= (o1+1)·n.
+		k1 := ceilDiv((o1+1)*n, p) - f1
+		// Next k where o2 changes: (f2+k'·s2)·p >= (o2+1)·n.
+		k2 := length
+		if s2 > 0 {
+			k2 = ceilDiv(ceilDiv((o2+1)*n, p)-f2, s2)
+		}
+		next := k1
+		if k2 < next {
+			next = k2
+		}
+		if next > length {
+			next = length
+		}
+		if next <= k { // guard against pathological stalls
+			next = k + 1
+		}
+		if o1 != o2 {
+			mat[o1][o2] += next - k
+		}
+		k = next
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// MovedElements sums a move matrix: the total element count changing
+// owner.
+func MovedElements(mat [][]int) int {
+	var total int
+	for _, row := range mat {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// matrixCache memoises move matrices across runs; tuning campaigns
+// revisit the same (dims, p, layouts) combinations constantly.
+var matrixCache sync.Map // cacheKey -> [][]int
+
+type cacheKey struct {
+	d            Dims
+	home, target Layout
+	p            int
+}
+
+// CachedMoveMatrix is MoveMatrix with memoisation.
+func CachedMoveMatrix(d Dims, home, target Layout, p int) [][]int {
+	key := cacheKey{d: d, home: home, target: target, p: p}
+	if v, ok := matrixCache.Load(key); ok {
+		return v.([][]int)
+	}
+	mat := MoveMatrix(d, home, target, p)
+	matrixCache.Store(key, mat)
+	return mat
+}
+
+// ChunkSize returns the largest per-rank element count of a
+// contiguous split of n elements over p ranks: the compute load gate.
+func ChunkSize(n, p int) int { return ceilDiv(n, p) }

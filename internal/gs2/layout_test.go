@@ -1,0 +1,131 @@
+package gs2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/cluster"
+)
+
+func TestMoveMatrixRoundTripSymmetry(t *testing.T) {
+	// The volume moved A->B equals the volume moved B->A: the inverse
+	// transform of a redistribution moves the same elements back.
+	d := Dims{X: 11, Y: 8, L: 5, E: 6, S: 2}
+	for _, p := range []int{3, 8, 16} {
+		ab := MovedElements(MoveMatrix(d, "lxyes", "xyles", p))
+		ba := MovedElements(MoveMatrix(d, "xyles", "lxyes", p))
+		if ab != ba {
+			t.Errorf("p=%d: forward moves %d, backward moves %d", p, ab, ba)
+		}
+	}
+}
+
+func TestMoveMatrixTransposeProperty(t *testing.T) {
+	// mat2 (B->A) is the transpose of mat1 (A->B): what rank i sends
+	// to j going out, j sends back to i coming home.
+	d := Dims{X: 7, Y: 6, L: 4, E: 4, S: 2}
+	p := 6
+	fwd := MoveMatrix(d, "lxyes", "lexys", p)
+	bwd := MoveMatrix(d, "lexys", "lxyes", p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if fwd[i][j] != bwd[j][i] {
+				t.Fatalf("fwd[%d][%d]=%d != bwd[%d][%d]=%d", i, j, fwd[i][j], j, i, bwd[j][i])
+			}
+		}
+	}
+}
+
+func TestMoveMatrixSinglingRank(t *testing.T) {
+	d := DefaultConfig().Dims()
+	mat := MoveMatrix(d, "lxyes", "xyles", 1)
+	if MovedElements(mat) != 0 {
+		t.Error("one rank owns everything; nothing should move")
+	}
+}
+
+func TestFrontPreservesPermutation(t *testing.T) {
+	f := func(choice uint8) bool {
+		layouts := Layouts()
+		l := layouts[int(choice)%len(layouts)]
+		for _, dims := range []string{"xy", "le", "s", "xyles"} {
+			if err := l.front(dims).Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontIdempotent(t *testing.T) {
+	for _, l := range Layouts() {
+		once := l.front("xy")
+		twice := once.front("xy")
+		if once != twice {
+			t.Errorf("%s: front not idempotent: %s vs %s", l, once, twice)
+		}
+	}
+}
+
+func TestCachedMoveMatrixSameResult(t *testing.T) {
+	d := Dims{X: 5, Y: 5, L: 5, E: 4, S: 2}
+	a := CachedMoveMatrix(d, "lxyes", "xyles", 7)
+	b := CachedMoveMatrix(d, "lxyes", "xyles", 7)
+	if &a[0] != &b[0] {
+		t.Error("cache miss on identical key")
+	}
+	c := MoveMatrix(d, "lxyes", "xyles", 7)
+	if !matricesEqual(a, c) {
+		t.Error("cached matrix differs from fresh computation")
+	}
+}
+
+func TestCollisionModeAddsCost(t *testing.T) {
+	// Collision cost must be visible on every layout, and smaller for
+	// layouts needing less velocity-space movement.
+	m := LinuxCluster(16)
+	for _, l := range Layouts() {
+		cfg := DefaultConfig()
+		cfg.Layout = l
+		off, err := Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Collisions = true
+		on, err := Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on <= off {
+			t.Errorf("%s: collisions should cost extra (%v vs %v)", l, on, off)
+		}
+	}
+}
+
+func TestLayoutsDifferentiateWithCollisions(t *testing.T) {
+	// With collisions, yxles and yxels transform to different
+	// (l,e)-front targets, so at least some environments separate
+	// them. Without collisions they are identical by construction.
+	m := cluster.Seaborg(16, 8)
+	timeFor := func(l Layout, coll bool) float64 {
+		cfg := DefaultConfig()
+		cfg.Layout = l
+		cfg.Collisions = coll
+		secs, err := Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return secs
+	}
+	if a, b := timeFor("yxles", false), timeFor("yxels", false); a != b {
+		t.Errorf("without collisions yxles (%v) and yxels (%v) should tie", a, b)
+	}
+	la := Layout("yxles").front("le")
+	lb := Layout("yxels").front("le")
+	if la == lb {
+		t.Fatalf("le-front targets should differ: %s vs %s", la, lb)
+	}
+}

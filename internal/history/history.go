@@ -1,0 +1,147 @@
+// Package history persists tuning outcomes across sessions so later
+// sessions can seed their initial simplex from prior good
+// configurations — the "information from prior runs" technique
+// (Chung & Hollingsworth, SC'04) the paper uses to tune the
+// 90,601×90,601 PETSc decomposition (search space O(10^100)) in only
+// ~120 iterations.
+package history
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"harmony/internal/space"
+)
+
+// Record stores the outcome of one tuning session.
+type Record struct {
+	// App identifies the tuned application or library.
+	App string `json:"app"`
+	// Machine identifies the execution environment (for example
+	// "seaborg-8x16"); best configurations are topology-specific.
+	Machine string `json:"machine"`
+	// Best maps parameter names to the tuned values, rendered as
+	// strings with space.Config.Map.
+	Best map[string]string `json:"best"`
+	// BestValue is the objective at Best.
+	BestValue float64 `json:"best_value"`
+	// Runs is the number of application runs the session used.
+	Runs int `json:"runs"`
+}
+
+// Store is a JSON-file-backed collection of Records. The zero value
+// is unusable; construct with Open. Store is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	records []Record
+}
+
+// Open loads the store at path, creating an empty store if the file
+// does not exist yet.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	if len(data) == 0 {
+		return s, nil
+	}
+	if err := json.Unmarshal(data, &s.records); err != nil {
+		return nil, fmt.Errorf("history: corrupt store %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Add appends a record and persists the store.
+func (s *Store) Add(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, rec)
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	data, err := json.MarshalIndent(s.records, "", "  ")
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if dir := filepath.Dir(s.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("history: %w", err)
+		}
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Records returns a copy of all stored records.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// SeedsFor returns prior best configurations for the given app,
+// decoded into lattice points of sp, best value first, at most limit
+// points. Records whose stored values do not fit the space (renamed
+// parameters, out-of-range values) are skipped: the space may have
+// changed between sessions. Records for the same machine sort before
+// records for other machines at equal value.
+func (s *Store) SeedsFor(app, machine string, sp *space.Space, limit int) []space.Point {
+	s.mu.Lock()
+	recs := append([]Record(nil), s.records...)
+	s.mu.Unlock()
+
+	var matched []Record
+	for _, r := range recs {
+		if r.App == app {
+			matched = append(matched, r)
+		}
+	}
+	sort.SliceStable(matched, func(i, j int) bool {
+		if (matched[i].Machine == machine) != (matched[j].Machine == machine) {
+			return matched[i].Machine == machine
+		}
+		return matched[i].BestValue < matched[j].BestValue
+	})
+	var seeds []space.Point
+	seen := make(map[string]bool)
+	for _, r := range matched {
+		if limit > 0 && len(seeds) >= limit {
+			break
+		}
+		pt, err := sp.Encode(r.Best)
+		if err != nil || !sp.Valid(pt) {
+			continue
+		}
+		if seen[pt.Key()] {
+			continue
+		}
+		seen[pt.Key()] = true
+		seeds = append(seeds, pt)
+	}
+	return seeds
+}

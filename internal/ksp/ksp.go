@@ -1,0 +1,193 @@
+// Package ksp implements Krylov-subspace linear solvers (CG and
+// restarted GMRES) running over the simulated machine: the solver
+// layer of the mini-PETSc (PETSc calls this layer KSP, formerly
+// SLES).
+//
+// Every global reduction is a simulated allreduce and every operator
+// application pays its communication and compute costs, so solver
+// time responds to data distribution exactly as the paper's Section
+// IV experiments require: per-iteration time is gated by the slowest
+// rank (load balance) plus halo and reduction traffic.
+package ksp
+
+import (
+	"math"
+
+	"harmony/internal/simmpi"
+	"harmony/internal/sparse"
+)
+
+// Result reports a solve.
+type Result struct {
+	// Iterations actually performed.
+	Iterations int
+	// Residual is the final (estimated) residual norm.
+	Residual float64
+	// Converged is false when the iteration budget ran out first.
+	Converged bool
+}
+
+// CG solves A·x = b with the conjugate-gradient method from inside a
+// simulated rank. b is the rank-local slice; the returned slice is
+// the rank-local solution. The matrix must be symmetric positive
+// definite. Iteration stops when the residual norm falls below
+// rtol times the initial residual norm, or after maxIter iterations.
+func CG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
+	const tag = 101
+	n := len(b)
+	x := make([]float64, n)
+	res := append([]float64(nil), b...) // r0 = b - A·0
+	p := append([]float64(nil), res...)
+	rsold := sparse.Dot(r, res, res)
+	rs0 := rsold
+	if rs0 == 0 {
+		return x, Result{Converged: true}
+	}
+	out := Result{}
+	for out.Iterations = 0; out.Iterations < maxIter; out.Iterations++ {
+		ap := a.MatVec(r, tag, p)
+		pap := sparse.Dot(r, p, ap)
+		if pap == 0 {
+			break
+		}
+		alpha := rsold / pap
+		sparse.Axpy(r, alpha, p, x)
+		sparse.Axpy(r, -alpha, ap, res)
+		rsnew := sparse.Dot(r, res, res)
+		if math.Sqrt(rsnew) <= rtol*math.Sqrt(rs0) {
+			out.Iterations++
+			out.Residual = math.Sqrt(rsnew)
+			out.Converged = true
+			return x, out
+		}
+		beta := rsnew / rsold
+		for i := range p {
+			p[i] = res[i] + beta*p[i]
+		}
+		r.Compute(sparse.VecFlops * float64(n))
+		rsold = rsnew
+	}
+	out.Residual = math.Sqrt(rsold)
+	return x, out
+}
+
+// Apply evaluates a linear operator on a rank-local vector, paying
+// its own simulation costs (communication and compute).
+type Apply func(x []float64) []float64
+
+// GMRES solves op(x) = b with restarted GMRES(m) from inside a
+// simulated rank, for general (non-symmetric) operators such as the
+// matrix-free Jacobian of the driven-cavity problem. The Hessenberg
+// least-squares problem is replicated on every rank from allreduced
+// inner products, so all ranks make identical decisions.
+func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol float64) ([]float64, Result) {
+	n := len(b)
+	x := make([]float64, n)
+	bnorm := math.Sqrt(sparse.Dot(r, b, b))
+	if bnorm == 0 {
+		return x, Result{Converged: true}
+	}
+	out := Result{}
+	res := append([]float64(nil), b...) // residual of x=0
+
+	for out.Iterations < maxIter {
+		beta := math.Sqrt(sparse.Dot(r, res, res))
+		if beta <= rtol*bnorm {
+			out.Residual = beta
+			out.Converged = true
+			return x, out
+		}
+		// Arnoldi with modified Gram–Schmidt.
+		m := restart
+		v := make([][]float64, m+1)
+		v[0] = scale(res, 1/beta)
+		h := make([][]float64, m+1) // h[i][j], i row, j column
+		for i := range h {
+			h[i] = make([]float64, m)
+		}
+		cs := make([]float64, m)
+		sn := make([]float64, m)
+		g := make([]float64, m+1)
+		g[0] = beta
+
+		k := 0
+		for ; k < m && out.Iterations < maxIter; k++ {
+			out.Iterations++
+			w := op(v[k])
+			for i := 0; i <= k; i++ {
+				h[i][k] = sparse.Dot(r, w, v[i])
+				axpyLocal(r, -h[i][k], v[i], w)
+			}
+			h[k+1][k] = math.Sqrt(sparse.Dot(r, w, w))
+			if h[k+1][k] > 0 {
+				v[k+1] = scale(w, 1/h[k+1][k])
+			} else {
+				v[k+1] = make([]float64, n)
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				h[i][k], h[i+1][k] = cs[i]*h[i][k]+sn[i]*h[i+1][k], -sn[i]*h[i][k]+cs[i]*h[i+1][k]
+			}
+			// New rotation to annihilate h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k], sn[k] = h[k][k]/denom, h[k+1][k]/denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			if math.Abs(g[k+1]) <= rtol*bnorm {
+				k++
+				break
+			}
+		}
+		// Back-substitute y from the k×k triangular system.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] != 0 {
+				y[i] = s / h[i][i]
+			}
+		}
+		for j := 0; j < k; j++ {
+			axpyLocal(r, y[j], v[j], x)
+		}
+		// True residual for the restart test.
+		ax := op(x)
+		for i := range res {
+			res[i] = b[i] - ax[i]
+		}
+		r.Compute(sparse.VecFlops * float64(n))
+		rn := math.Sqrt(sparse.Dot(r, res, res))
+		out.Residual = rn
+		if rn <= rtol*bnorm {
+			out.Converged = true
+			return x, out
+		}
+		if k == 0 {
+			break // stagnated
+		}
+	}
+	return x, out
+}
+
+func scale(v []float64, a float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+func axpyLocal(r *simmpi.Rank, alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+	r.Compute(sparse.VecFlops * float64(len(y)))
+}

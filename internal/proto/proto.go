@@ -1,0 +1,184 @@
+// Package proto defines the wire protocol between Active Harmony
+// clients (tunable applications) and the Harmony tuning server.
+//
+// The protocol is line-delimited JSON over a stream transport: each
+// message is one JSON object terminated by '\n'. A client registers a
+// tuning session by describing its parameter space, then repeatedly
+// fetches the configuration to use next and reports the performance
+// it observed. This is the "on-line" tuning mode: the application
+// keeps running while the server walks the simplex.
+//
+//	C: {"type":"register","app":"gs2","space":[...],"strategy":"simplex"}
+//	S: {"type":"registered","session":"s1"}
+//	C: {"type":"fetch","session":"s1"}
+//	S: {"type":"config","values":{"layout":"yxles"},"converged":false}
+//	C: {"type":"report","session":"s1","perf":16.25}
+//	S: {"type":"ok"}
+package proto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"harmony/internal/space"
+)
+
+// Message types.
+const (
+	TypeRegister   = "register"
+	TypeRegistered = "registered"
+	TypeFetch      = "fetch"
+	TypeConfig     = "config"
+	TypeReport     = "report"
+	TypeBest       = "best"
+	TypeBestReply  = "best_reply"
+	TypeDone       = "done"
+	TypeOK         = "ok"
+	TypeError      = "error"
+)
+
+// Strategy names accepted in register messages.
+const (
+	StrategySimplex    = "simplex"
+	StrategyCoordinate = "coordinate"
+	StrategyRandom     = "random"
+	StrategySystematic = "systematic"
+	StrategyExhaustive = "exhaustive"
+	StrategyPRO        = "pro"
+)
+
+// ParamSpec serialises one space.Param.
+type ParamSpec struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"` // "int" or "enum"
+	Min    int64    `json:"min,omitempty"`
+	Max    int64    `json:"max,omitempty"`
+	Step   int64    `json:"step,omitempty"`
+	Values []string `json:"values,omitempty"`
+}
+
+// Message is the single envelope for every protocol message; unused
+// fields are omitted on the wire.
+type Message struct {
+	Type    string `json:"type"`
+	Session string `json:"session,omitempty"`
+
+	// register
+	App      string      `json:"app,omitempty"`
+	Machine  string      `json:"machine,omitempty"`
+	Strategy string      `json:"strategy,omitempty"`
+	Space    []ParamSpec `json:"space,omitempty"`
+	Seed     int64       `json:"seed,omitempty"`
+	MaxRuns  int         `json:"max_runs,omitempty"`
+	// Reporters is the number of clients that will report for each
+	// fetched configuration; the server aggregates (worst value wins,
+	// since the slowest rank gates a parallel application) before
+	// advancing the search. Defaults to 1.
+	Reporters int `json:"reporters,omitempty"`
+
+	// config / best_reply
+	Values    map[string]string `json:"values,omitempty"`
+	Converged bool              `json:"converged,omitempty"`
+
+	// report / best_reply
+	Perf float64 `json:"perf,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+}
+
+// EncodeSpace serialises a space for a register message.
+func EncodeSpace(sp *space.Space) []ParamSpec {
+	params := sp.Params()
+	out := make([]ParamSpec, len(params))
+	for i, p := range params {
+		spec := ParamSpec{Name: p.Name, Kind: p.Kind.String()}
+		switch p.Kind {
+		case space.Int:
+			spec.Min, spec.Max, spec.Step = p.Min, p.Max, p.Step
+		case space.Enum:
+			spec.Values = append([]string(nil), p.Values...)
+		}
+		out[i] = spec
+	}
+	return out
+}
+
+// DecodeSpace reconstructs a space from a register message. Note that
+// feasibility constraints are not transmitted: the server searches
+// the bounding box and the client remains free to reject infeasible
+// configurations by reporting +Inf.
+func DecodeSpace(specs []ParamSpec) (*space.Space, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("proto: empty space")
+	}
+	params := make([]space.Param, len(specs))
+	for i, s := range specs {
+		switch s.Kind {
+		case "int":
+			if s.Step <= 0 || s.Max < s.Min {
+				return nil, fmt.Errorf("proto: bad int parameter %q (min=%d max=%d step=%d)", s.Name, s.Min, s.Max, s.Step)
+			}
+			params[i] = space.Param{Name: s.Name, Kind: space.Int, Min: s.Min, Max: s.Max, Step: s.Step}
+		case "enum":
+			if len(s.Values) == 0 {
+				return nil, fmt.Errorf("proto: enum parameter %q has no values", s.Name)
+			}
+			params[i] = space.Param{Name: s.Name, Kind: space.Enum, Values: append([]string(nil), s.Values...)}
+		default:
+			return nil, fmt.Errorf("proto: unknown parameter kind %q", s.Kind)
+		}
+	}
+	return space.New(params...)
+}
+
+// Conn wraps a stream with message framing. It is not safe for
+// concurrent writers; the client serialises calls and the server uses
+// one Conn per goroutine.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+	c io.Closer
+}
+
+// NewConn frames messages over rw.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), c: rw}
+}
+
+// Send writes one message.
+func (c *Conn) Send(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("proto: marshal: %w", err)
+	}
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("proto: write: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one message. It returns io.EOF when the peer closed the
+// connection cleanly.
+func (c *Conn) Recv() (*Message, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("proto: read: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("proto: malformed message: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("proto: message missing type")
+	}
+	return &m, nil
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.c.Close() }

@@ -1,0 +1,140 @@
+package search
+
+import (
+	"math/rand"
+
+	"harmony/internal/space"
+)
+
+// Random is a uniform random-sampling strategy. It proposes feasible
+// points drawn uniformly from the space until MaxSamples proposals
+// have been evaluated. It serves as a baseline against the simplex
+// strategy.
+type Random struct {
+	tracker
+	sp      *space.Space
+	rng     *rand.Rand
+	max     int
+	count   int
+	pending space.Point
+}
+
+// NewRandom constructs a random strategy that proposes maxSamples
+// points using the given seed. maxSamples <= 0 means unbounded.
+func NewRandom(sp *space.Space, seed int64, maxSamples int) *Random {
+	return &Random{sp: sp, rng: rand.New(rand.NewSource(seed)), max: maxSamples}
+}
+
+// Name implements Strategy.
+func (r *Random) Name() string { return "random" }
+
+// Next implements Strategy.
+func (r *Random) Next() (space.Point, bool) {
+	if r.pending != nil {
+		return r.pending.Clone(), true
+	}
+	if r.max > 0 && r.count >= r.max {
+		return nil, false
+	}
+	r.pending = r.sp.Random(r.rng)
+	return r.pending.Clone(), true
+}
+
+// Report implements Strategy.
+func (r *Random) Report(pt space.Point, value float64) {
+	mustPending(r.Name(), r.pending)
+	r.observe(pt, value)
+	r.pending = nil
+	r.count++
+}
+
+// Systematic enumerates an evenly spaced grid over the space — the
+// paper's "systematic sampling" used to map the whole GS2
+// configuration space for Fig. 6. The budget bounds the number of
+// grid points.
+type Systematic struct {
+	tracker
+	points  []space.Point
+	idx     int
+	pending bool
+	// Values records the objective at every visited grid point in
+	// visit order; Fig. 6 histograms this distribution.
+	Values []float64
+}
+
+// NewSystematic constructs a systematic-sampling strategy with at
+// most budget points.
+func NewSystematic(sp *space.Space, budget int) *Systematic {
+	return &Systematic{points: sp.Grid(budget)}
+}
+
+// Name implements Strategy.
+func (s *Systematic) Name() string { return "systematic" }
+
+// Planned reports how many grid points will be visited.
+func (s *Systematic) Planned() int { return len(s.points) }
+
+// Next implements Strategy.
+func (s *Systematic) Next() (space.Point, bool) {
+	if s.idx >= len(s.points) {
+		return nil, false
+	}
+	s.pending = true
+	return s.points[s.idx].Clone(), true
+}
+
+// Report implements Strategy.
+func (s *Systematic) Report(pt space.Point, value float64) {
+	if !s.pending {
+		mustPending(s.Name(), nil)
+	}
+	s.observe(pt, value)
+	s.Values = append(s.Values, value)
+	s.pending = false
+	s.idx++
+}
+
+// Exhaustive enumerates every feasible point of a (small) space.
+type Exhaustive struct {
+	tracker
+	points  []space.Point
+	idx     int
+	pending bool
+}
+
+// NewExhaustive constructs an exhaustive strategy. The space must be
+// small enough to enumerate; the constructor materialises all
+// feasible points.
+func NewExhaustive(sp *space.Space) *Exhaustive {
+	e := &Exhaustive{}
+	sp.All(func(pt space.Point) bool {
+		e.points = append(e.points, pt)
+		return true
+	})
+	return e
+}
+
+// Name implements Strategy.
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Planned reports how many points will be visited.
+func (e *Exhaustive) Planned() int { return len(e.points) }
+
+// Next implements Strategy.
+func (e *Exhaustive) Next() (space.Point, bool) {
+	if e.idx >= len(e.points) {
+		return nil, false
+	}
+	e.pending = true
+	return e.points[e.idx].Clone(), true
+}
+
+// Report implements Strategy.
+func (e *Exhaustive) Report(pt space.Point, value float64) {
+	if !e.pending {
+		mustPending(e.Name(), nil)
+	}
+	e.observe(pt, value)
+	e.pending = false
+	e.idx++
+}

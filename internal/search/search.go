@@ -1,0 +1,74 @@
+// Package search implements the search strategies used by the Active
+// Harmony tuning system.
+//
+// The central strategy is Simplex, the integer-adapted Nelder–Mead
+// method the paper uses as the kernel of the Adaptation Controller.
+// The package also provides the comparison strategies the paper's
+// evaluation relies on: coordinate descent (the one-parameter-per-
+// iteration behaviour visible in Table I), uniform random search,
+// systematic sampling (Fig. 6), and exhaustive enumeration.
+//
+// All strategies implement the ask/tell Strategy interface so the
+// same engine drives both off-line tuning (iterative benchmarking
+// runs) and on-line tuning (the client/server protocol).
+package search
+
+import (
+	"fmt"
+
+	"harmony/internal/space"
+)
+
+// Strategy is the ask/tell interface implemented by every search
+// method.
+//
+// The caller repeatedly asks for the next configuration to evaluate
+// with Next and reports the measured performance with Report. A
+// strategy may propose the same lattice point more than once (the
+// continuous simplex frequently snaps distinct vertices to one
+// lattice point); callers that charge per application run should
+// memoise evaluations (core.Tuner does).
+//
+// Next returns ok=false when the strategy has converged or exhausted
+// its space. Calling Next again without an intervening Report returns
+// the same pending proposal.
+type Strategy interface {
+	// Name identifies the strategy in reports and logs.
+	Name() string
+	// Next proposes the next point to evaluate.
+	Next() (pt space.Point, ok bool)
+	// Report delivers the objective value (lower is better) measured
+	// at the most recent proposal.
+	Report(pt space.Point, value float64)
+	// Best returns the best point reported so far.
+	Best() (pt space.Point, value float64, ok bool)
+}
+
+// tracker records the incumbent best result; embedded by strategies.
+type tracker struct {
+	best      space.Point
+	bestValue float64
+	has       bool
+}
+
+func (t *tracker) observe(pt space.Point, value float64) {
+	if !t.has || value < t.bestValue {
+		t.best = pt.Clone()
+		t.bestValue = value
+		t.has = true
+	}
+}
+
+// Best returns the best point observed so far.
+func (t *tracker) Best() (space.Point, float64, bool) {
+	if !t.has {
+		return nil, 0, false
+	}
+	return t.best.Clone(), t.bestValue, true
+}
+
+func mustPending(name string, pending space.Point) {
+	if pending == nil {
+		panic(fmt.Sprintf("search: %s.Report called with no pending proposal", name))
+	}
+}

@@ -1,0 +1,343 @@
+// Package server implements the Active Harmony tuning server: the
+// Adaptation Controller behind the on-line tuning protocol.
+//
+// Applications register a parameter space, then fetch configurations
+// and report measured performance while they run. One session may be
+// shared by several clients (for example one per node of a parallel
+// job); the server hands every client the same configuration and
+// advances the search only when all expected reports for that
+// configuration have arrived, aggregating them by taking the worst
+// (a parallel application moves at the speed of its slowest rank).
+package server
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"strconv"
+	"sync"
+
+	"harmony/internal/proto"
+	"harmony/internal/search"
+	"harmony/internal/space"
+)
+
+// Server is a Harmony tuning server. Create with New, start with
+// Serve or ListenAndServe.
+type Server struct {
+	// Logf receives diagnostic output; defaults to log.Printf. Set to
+	// a no-op to silence.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	ln       net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+type session struct {
+	mu       sync.Mutex
+	id       string
+	app      string
+	space    *space.Space
+	strategy search.Strategy
+
+	pending   space.Point // configuration currently being measured
+	reports   []float64   // reports received for pending
+	reporters int         // reports needed before advancing
+	converged bool
+	runs      int
+	maxRuns   int
+}
+
+// New constructs a server with no sessions.
+func New() *Server {
+	return &Server{
+		Logf:     log.Printf,
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// ListenAndServe listens on addr (for example "127.0.0.1:0") and
+// serves until Close. It returns the error from Accept after Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. Calling Serve on a
+// server that is already closed (or that is closed concurrently
+// during startup) returns nil after closing the listener: shutdown
+// races resolve cleanly.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listener address, useful with ":0".
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all live connections, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	pc := proto.NewConn(conn)
+	for {
+		msg, err := pc.Recv()
+		if err != nil {
+			if err != io.EOF {
+				s.Logf("harmony server: recv: %v", err)
+			}
+			return
+		}
+		reply := s.dispatch(msg)
+		if err := pc.Send(reply); err != nil {
+			s.Logf("harmony server: send: %v", err)
+			return
+		}
+	}
+}
+
+func errorReply(format string, args ...any) *proto.Message {
+	return &proto.Message{Type: proto.TypeError, Error: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) dispatch(msg *proto.Message) *proto.Message {
+	switch msg.Type {
+	case proto.TypeRegister:
+		return s.register(msg)
+	case proto.TypeFetch:
+		return s.withSession(msg, (*session).fetch)
+	case proto.TypeReport:
+		return s.withSession(msg, func(ss *session, m *proto.Message) *proto.Message {
+			return ss.report(m)
+		})
+	case proto.TypeBest:
+		return s.withSession(msg, (*session).best)
+	case proto.TypeDone:
+		return s.done(msg)
+	default:
+		return errorReply("unknown message type %q", msg.Type)
+	}
+}
+
+func (s *Server) register(msg *proto.Message) *proto.Message {
+	sp, err := proto.DecodeSpace(msg.Space)
+	if err != nil {
+		return errorReply("register: %v", err)
+	}
+	strat, err := buildStrategy(msg, sp)
+	if err != nil {
+		return errorReply("register: %v", err)
+	}
+	reporters := msg.Reporters
+	if reporters <= 0 {
+		reporters = 1
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = &session{
+		id: id, app: msg.App, space: sp, strategy: strat,
+		reporters: reporters, maxRuns: msg.MaxRuns,
+	}
+	s.mu.Unlock()
+	s.Logf("harmony server: registered session %s app=%q strategy=%s dims=%d", id, msg.App, strat.Name(), sp.Dims())
+	return &proto.Message{Type: proto.TypeRegistered, Session: id}
+}
+
+func buildStrategy(msg *proto.Message, sp *space.Space) (search.Strategy, error) {
+	switch msg.Strategy {
+	case "", proto.StrategySimplex:
+		return search.NewSimplex(sp, search.SimplexOptions{}), nil
+	case proto.StrategyCoordinate:
+		return search.NewCoordinate(sp, search.CoordinateOptions{}), nil
+	case proto.StrategyRandom:
+		max := msg.MaxRuns
+		if max == 0 {
+			max = 100
+		}
+		return search.NewRandom(sp, msg.Seed, max), nil
+	case proto.StrategySystematic:
+		budget := msg.MaxRuns
+		if budget == 0 {
+			budget = 100
+		}
+		return search.NewSystematic(sp, budget), nil
+	case proto.StrategyPRO:
+		return search.NewPRO(sp, search.PROOptions{Seed: msg.Seed}), nil
+	case proto.StrategyExhaustive:
+		if sp.Size() > 1_000_000 {
+			return nil, fmt.Errorf("space too large for exhaustive search (%d points)", sp.Size())
+		}
+		return search.NewExhaustive(sp), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", msg.Strategy)
+	}
+}
+
+func (s *Server) withSession(msg *proto.Message, fn func(*session, *proto.Message) *proto.Message) *proto.Message {
+	s.mu.Lock()
+	ss, ok := s.sessions[msg.Session]
+	s.mu.Unlock()
+	if !ok {
+		return errorReply("unknown session %q", msg.Session)
+	}
+	return fn(ss, msg)
+}
+
+func (s *Server) done(msg *proto.Message) *proto.Message {
+	s.mu.Lock()
+	_, ok := s.sessions[msg.Session]
+	delete(s.sessions, msg.Session)
+	s.mu.Unlock()
+	if !ok {
+		return errorReply("unknown session %q", msg.Session)
+	}
+	return &proto.Message{Type: proto.TypeOK}
+}
+
+// fetch returns the configuration the application should use next.
+// All clients of the session receive the same configuration until
+// enough reports arrive.
+func (ss *session) fetch(*proto.Message) *proto.Message {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
+		return ss.bestOrCurrentLocked()
+	}
+	if ss.pending == nil {
+		pt, ok := ss.strategy.Next()
+		if !ok {
+			ss.converged = true
+			return ss.bestOrCurrentLocked()
+		}
+		ss.pending = pt
+		ss.reports = ss.reports[:0]
+		ss.runs++
+	}
+	cfg, err := ss.space.Decode(ss.pending)
+	if err != nil {
+		return errorReply("fetch: %v", err)
+	}
+	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map()}
+}
+
+// bestOrCurrentLocked replies with the best-known configuration and
+// the converged flag set, so clients can settle on the tuned values.
+func (ss *session) bestOrCurrentLocked() *proto.Message {
+	if pt, _, ok := ss.strategy.Best(); ok {
+		cfg, err := ss.space.Decode(pt)
+		if err == nil {
+			return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Converged: true}
+		}
+	}
+	cfg, err := ss.space.Decode(ss.space.Center())
+	if err != nil {
+		return errorReply("fetch: %v", err)
+	}
+	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Converged: true}
+}
+
+func (ss *session) report(msg *proto.Message) *proto.Message {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.pending == nil {
+		return errorReply("report: no configuration outstanding for session %s", ss.id)
+	}
+	ss.reports = append(ss.reports, msg.Perf)
+	if len(ss.reports) < ss.reporters {
+		return &proto.Message{Type: proto.TypeOK}
+	}
+	// The slowest reporter gates the parallel application.
+	worst := math.Inf(-1)
+	for _, v := range ss.reports {
+		if v > worst {
+			worst = v
+		}
+	}
+	ss.strategy.Report(ss.pending, worst)
+	ss.pending = nil
+	ss.reports = ss.reports[:0]
+	return &proto.Message{Type: proto.TypeOK}
+}
+
+func (ss *session) best(*proto.Message) *proto.Message {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	pt, value, ok := ss.strategy.Best()
+	if !ok {
+		return errorReply("best: session %s has no evaluations yet", ss.id)
+	}
+	cfg, err := ss.space.Decode(pt)
+	if err != nil {
+		return errorReply("best: %v", err)
+	}
+	return &proto.Message{
+		Type: proto.TypeBestReply, Values: cfg.Map(), Perf: value,
+		Converged: ss.converged,
+	}
+}

@@ -1,0 +1,347 @@
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// collective is the generation-counted rendezvous behind all
+// collective operations. Every rank must call the same sequence of
+// collectives (SPMD discipline); a mismatch is detected and reported
+// as an application bug.
+type collective struct {
+	w    *World
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	gen      uint64
+	arrived  int
+	op       string
+	arrivals []float64
+	inputs   []any
+	exits    []float64
+	outputs  []any
+}
+
+func newCollective(w *World) *collective {
+	c := &collective{
+		w:        w,
+		arrivals: make([]float64, w.n),
+		inputs:   make([]any, w.n),
+		exits:    make([]float64, w.n),
+		outputs:  make([]any, w.n),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// combineFunc computes, once all ranks have arrived, the per-rank
+// exit clocks and outputs from the per-rank inputs and arrival
+// clocks.
+type combineFunc func(w *World, arrivals []float64, inputs []any) (exits []float64, outputs []any)
+
+// rendezvous runs one collective operation for rank r.
+func (c *collective) rendezvous(r *Rank, op string, input any, combine combineFunc) any {
+	c.mu.Lock()
+	if c.w.isAborted() {
+		c.mu.Unlock()
+		panic(errAborted)
+	}
+	if c.arrived == 0 {
+		c.op = op
+	} else if c.op != op {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("simmpi: collective mismatch: rank %d calls %s while %s in progress", r.id, op, c.op))
+	}
+	g := c.gen
+	c.arrivals[r.id] = r.clock
+	c.inputs[r.id] = input
+	c.arrived++
+	if c.arrived == c.w.n {
+		// combine may detect an application bug (mismatched vector
+		// lengths, say) and panic; release the lock first so the
+		// abort path can wake the other ranks instead of deadlocking.
+		exits, outputs, err := func() (ex []float64, out []any, err any) {
+			defer func() { err = recover() }()
+			ex, out = combine(c.w, c.arrivals, c.inputs)
+			return ex, out, nil
+		}()
+		if err != nil {
+			c.mu.Unlock()
+			panic(err)
+		}
+		copy(c.exits, exits)
+		copy(c.outputs, outputs)
+		for i := range c.inputs {
+			c.inputs[i] = nil
+		}
+		c.arrived = 0
+		c.gen++
+		c.cond.Broadcast()
+	} else {
+		for c.gen == g {
+			if c.w.isAborted() {
+				c.mu.Unlock()
+				panic(errAborted)
+			}
+			c.cond.Wait()
+		}
+	}
+	exit := c.exits[r.id]
+	out := c.outputs[r.id]
+	c.mu.Unlock()
+
+	if exit > r.clock {
+		r.wait += exit - r.clock
+		r.clock = exit
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func uniformExits(n int, t float64) []float64 {
+	exits := make([]float64, n)
+	for i := range exits {
+		exits[i] = t
+	}
+	return exits
+}
+
+// treeCost models a binomial-tree collective over n ranks moving
+// bytes per stage on the world's worst link class.
+func (w *World) treeCost(bytes int) float64 {
+	l := w.worstLink()
+	stages := log2ceil(w.n)
+	return stages * (l.Latency + l.Overhead + float64(bytes)/l.Bandwidth)
+}
+
+// Barrier synchronises all ranks: every clock advances to the latest
+// arrival plus the barrier's tree cost.
+func (r *Rank) Barrier() {
+	r.world.coll.rendezvous(r, "barrier", nil,
+		func(w *World, arrivals []float64, _ []any) ([]float64, []any) {
+			t := maxOf(arrivals) + w.treeCost(0)
+			return uniformExits(w.n, t), make([]any, w.n)
+		})
+}
+
+// Allreduce combines each rank's vector elementwise with op and
+// returns the combined vector to every rank. All vectors must have
+// the same length.
+func (r *Rank) Allreduce(op Op, vec []float64) []float64 {
+	in := append([]float64(nil), vec...)
+	out := r.world.coll.rendezvous(r, "allreduce", in,
+		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+			first := inputs[0].([]float64)
+			acc := append([]float64(nil), first...)
+			for i := 1; i < w.n; i++ {
+				v := inputs[i].([]float64)
+				if len(v) != len(acc) {
+					panic(fmt.Sprintf("simmpi: allreduce length mismatch: rank 0 has %d, rank %d has %d", len(acc), i, len(v)))
+				}
+				for j := range acc {
+					acc[j] = op.apply(acc[j], v[j])
+				}
+			}
+			t := maxOf(arrivals) + w.treeCost(8*len(acc))
+			w.mu.Lock()
+			w.bytesSent += int64(8 * len(acc) * int(log2ceil(w.n)))
+			w.mu.Unlock()
+			outs := make([]any, w.n)
+			for i := range outs {
+				outs[i] = append([]float64(nil), acc...)
+			}
+			return uniformExits(w.n, t), outs
+		})
+	return out.([]float64)
+}
+
+// Allreduce1 is Allreduce for a single scalar.
+func (r *Rank) Allreduce1(op Op, x float64) float64 {
+	return r.Allreduce(op, []float64{x})[0]
+}
+
+// Bcast distributes root's vector to every rank and returns it.
+// Non-root ranks pass nil (or anything; only root's value is used).
+func (r *Rank) Bcast(root int, vec []float64) []float64 {
+	var in []float64
+	if r.id == root {
+		in = append([]float64(nil), vec...)
+	}
+	out := r.world.coll.rendezvous(r, "bcast", in,
+		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+			data, _ := inputs[root].([]float64)
+			t := maxOf(arrivals) + w.treeCost(8*len(data))
+			w.mu.Lock()
+			w.bytesSent += int64(8 * len(data) * int(log2ceil(w.n)))
+			w.mu.Unlock()
+			outs := make([]any, w.n)
+			for i := range outs {
+				outs[i] = append([]float64(nil), data...)
+			}
+			return uniformExits(w.n, t), outs
+		})
+	return out.([]float64)
+}
+
+// Gather concentrates each rank's vector at root, returning the
+// rank-ordered concatenation at root and nil elsewhere. The root pays
+// for receiving the full volume; other ranks leave after their send
+// completes locally.
+func (r *Rank) Gather(root int, vec []float64) [][]float64 {
+	in := append([]float64(nil), vec...)
+	out := r.world.coll.rendezvous(r, "gather", in,
+		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+			l := w.worstLink()
+			var bytes int
+			gathered := make([][]float64, w.n)
+			for i := 0; i < w.n; i++ {
+				v := inputs[i].([]float64)
+				gathered[i] = append([]float64(nil), v...)
+				if i != root {
+					bytes += 8 * len(v)
+				}
+			}
+			tRoot := maxOf(arrivals) + l.Latency + float64(bytes)/l.Bandwidth
+			w.mu.Lock()
+			w.bytesSent += int64(bytes)
+			w.mu.Unlock()
+			exits := make([]float64, w.n)
+			outs := make([]any, w.n)
+			for i := range exits {
+				if i == root {
+					exits[i] = tRoot
+					outs[i] = gathered
+				} else {
+					// Senders proceed once their message is injected.
+					exits[i] = arrivals[i] + l.Overhead
+					outs[i] = [][]float64(nil)
+				}
+			}
+			return exits, outs
+		})
+	return out.([][]float64)
+}
+
+// AlltoallvBytes performs a personalised all-to-all where each rank
+// declares only the number of bytes it sends to every other rank
+// (sendBytes[dst]; entries for self or missing ranks are ignored).
+// It returns the number of bytes this rank received. The exit time of
+// each rank is gated by its inbound volume on the per-pair links —
+// the mechanism that makes data-layout choices in GS2 and block
+// mappings in POP visible as communication time.
+func (r *Rank) AlltoallvBytes(sendBytes map[int]int) int {
+	in := make(map[int]int, len(sendBytes))
+	for dst, b := range sendBytes {
+		if dst < 0 || dst >= r.world.n {
+			panic(fmt.Sprintf("simmpi: alltoallv to invalid rank %d", dst))
+		}
+		if b < 0 {
+			panic(fmt.Sprintf("simmpi: alltoallv negative size %d", b))
+		}
+		if dst != r.id && b > 0 {
+			in[dst] = b
+		}
+	}
+	out := r.world.coll.rendezvous(r, "alltoallv", in,
+		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+			base := maxOf(arrivals)
+			lat := w.worstLink().Latency * log2ceil(w.n)
+			overhead := w.worstLink().Overhead
+			exits := make([]float64, w.n)
+			outs := make([]any, w.n)
+			var total int64
+			var interNode float64
+			recvBytes := make([]int, w.n)
+			recvTime := make([]float64, w.n)
+			sendTime := make([]float64, w.n)
+			msgs := make([]int, w.n) // messages touched per rank
+			for src := 0; src < w.n; src++ {
+				m := inputs[src].(map[int]int)
+				for dst, b := range m {
+					link := w.machine.LinkBetween(src, dst)
+					dt := float64(b) / link.Bandwidth
+					recvTime[dst] += dt
+					sendTime[src] += dt
+					recvBytes[dst] += b
+					msgs[src]++
+					msgs[dst]++
+					total += int64(b)
+					if !w.machine.SameNode(src, dst) {
+						interNode += float64(b)
+					}
+				}
+			}
+			// The switch's bisection caps aggregate inter-node flow:
+			// a dense exchange cannot finish before the fabric has
+			// carried it, regardless of per-rank parallelism.
+			congestion := interNode / w.machine.Bisection()
+			for i := range exits {
+				cost := recvTime[i]
+				if sendTime[i] > cost {
+					cost = sendTime[i]
+				}
+				if congestion > cost {
+					cost = congestion
+				}
+				exits[i] = base + lat + cost + float64(msgs[i])*overhead
+				outs[i] = recvBytes[i]
+			}
+			w.mu.Lock()
+			w.bytesSent += total
+			w.mu.Unlock()
+			return exits, outs
+		})
+	return out.(int)
+}
+
+// Reduce combines each rank's vector elementwise with op and delivers
+// the combined vector at root only; other ranks receive nil. Senders
+// proceed once their contribution is injected; the root pays the tree
+// cost.
+func (r *Rank) Reduce(root int, op Op, vec []float64) []float64 {
+	if root < 0 || root >= r.world.n {
+		panic(fmt.Sprintf("simmpi: reduce to invalid root %d", root))
+	}
+	in := append([]float64(nil), vec...)
+	out := r.world.coll.rendezvous(r, "reduce", in,
+		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+			l := w.worstLink()
+			acc := append([]float64(nil), inputs[0].([]float64)...)
+			for i := 1; i < w.n; i++ {
+				v := inputs[i].([]float64)
+				if len(v) != len(acc) {
+					panic(fmt.Sprintf("simmpi: reduce length mismatch: rank 0 has %d, rank %d has %d", len(acc), i, len(v)))
+				}
+				for j := range acc {
+					acc[j] = op.apply(acc[j], v[j])
+				}
+			}
+			w.mu.Lock()
+			w.bytesSent += int64(8 * len(acc) * int(log2ceil(w.n)))
+			w.mu.Unlock()
+			exits := make([]float64, w.n)
+			outs := make([]any, w.n)
+			tRoot := maxOf(arrivals) + w.treeCost(8*len(acc))
+			for i := range exits {
+				if i == root {
+					exits[i] = tRoot
+					outs[i] = acc
+				} else {
+					exits[i] = arrivals[i] + l.Overhead
+					outs[i] = []float64(nil)
+				}
+			}
+			return exits, outs
+		})
+	return out.([]float64)
+}

@@ -1,0 +1,175 @@
+package simmpi
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/cluster"
+)
+
+func TestAlltoallvBisectionCongestion(t *testing.T) {
+	// A dense exchange across few nodes must be gated by the
+	// bisection, not by per-rank parallelism: doubling per-pair
+	// volume doubles the time even though every rank "receives in
+	// parallel".
+	m := testMachine(2, 4)
+	timeFor := func(bytes int) float64 {
+		st, err := Run(m, 8, func(r *Rank) {
+			send := map[int]int{}
+			for dst := 0; dst < 8; dst++ {
+				if dst != r.ID() {
+					send[dst] = bytes
+				}
+			}
+			r.AlltoallvBytes(send)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Time
+	}
+	t1 := timeFor(1 << 20)
+	t2 := timeFor(2 << 20)
+	if ratio := t2 / t1; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("volume doubling changed time by %.2fx, want ~2x (bisection-bound)", ratio)
+	}
+	// The absolute time must respect the bisection floor.
+	interBytes := 0
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			if dst != src && !m.SameNode(src, dst) {
+				interBytes += 1 << 20
+			}
+		}
+	}
+	if floor := float64(interBytes) / m.Bisection(); t1 < floor {
+		t.Errorf("time %v below bisection floor %v", t1, floor)
+	}
+}
+
+func TestAlltoallvMoreNodesRelieveCongestion(t *testing.T) {
+	// The same aggregate exchange finishes faster on a machine with
+	// more nodes (larger bisection).
+	run := func(nodes, ppn int) float64 {
+		st, err := Run(testMachine(nodes, ppn), 8, func(r *Rank) {
+			send := map[int]int{}
+			for dst := 0; dst < 8; dst++ {
+				if dst != r.ID() {
+					send[dst] = 1 << 20
+				}
+			}
+			r.AlltoallvBytes(send)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Time
+	}
+	wide := run(8, 1)
+	narrow := run(2, 4)
+	if wide >= narrow {
+		t.Errorf("8-node exchange (%v) should beat 2-node exchange (%v)", wide, narrow)
+	}
+}
+
+func TestBisectionDefault(t *testing.T) {
+	m := &cluster.Machine{Nodes: 16, PPN: 2,
+		Inter: cluster.Link{Bandwidth: 100e6, Latency: 1e-6},
+		Intra: cluster.Link{Bandwidth: 1e9, Latency: 1e-7}}
+	if got, want := m.Bisection(), 16*100e6/2; got != want {
+		t.Errorf("Bisection = %v, want %v", got, want)
+	}
+	m.BisectionBandwidth = 42
+	if got := m.Bisection(); got != 42 {
+		t.Errorf("explicit bisection = %v, want 42", got)
+	}
+}
+
+func TestGatherRootPaysForVolume(t *testing.T) {
+	st, err := Run(testMachine(4, 1), 4, func(r *Rank) {
+		r.Gather(0, make([]float64, 10000))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root's clock includes the full inbound volume; leaves leave
+	// almost immediately.
+	if st.RankClocks[0] <= st.RankClocks[1] {
+		t.Errorf("root clock %v should exceed leaf clock %v", st.RankClocks[0], st.RankClocks[1])
+	}
+}
+
+func TestBcastNilAtRoot(t *testing.T) {
+	_, err := Run(testMachine(1, 2), 2, func(r *Rank) {
+		got := r.Bcast(0, nil)
+		if len(got) != 0 {
+			panic("nil broadcast should deliver empty")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceLengthMismatchDetected(t *testing.T) {
+	_, err := Run(testMachine(1, 2), 2, func(r *Rank) {
+		r.Allreduce(Sum, make([]float64, 1+r.ID()))
+	})
+	if err == nil {
+		t.Error("expected error for mismatched allreduce lengths")
+	}
+}
+
+func TestCollectiveSequenceTiming(t *testing.T) {
+	// Two barriers back-to-back cost twice one barrier's tree cost.
+	m := testMachine(2, 2)
+	one, err := Run(m, 4, func(r *Rank) { r.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(m, 4, func(r *Rank) { r.Barrier(); r.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two.Time-2*one.Time) > 1e-12 {
+		t.Errorf("two barriers = %v, want %v", two.Time, 2*one.Time)
+	}
+}
+
+func TestReduceDeliversAtRootOnly(t *testing.T) {
+	st, err := Run(testMachine(2, 2), 4, func(r *Rank) {
+		got := r.Reduce(2, Sum, []float64{float64(r.ID()), 1})
+		if r.ID() == 2 {
+			if len(got) != 2 || got[0] != 6 || got[1] != 4 {
+				panic("reduce result wrong at root")
+			}
+		} else if got != nil {
+			panic("reduce non-nil at leaf")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Root's clock includes the tree cost; leaves leave early.
+	if st.RankClocks[2] <= st.RankClocks[0] {
+		t.Errorf("root clock %v should exceed leaf clock %v", st.RankClocks[2], st.RankClocks[0])
+	}
+}
+
+func TestReduceInvalidRoot(t *testing.T) {
+	_, err := Run(testMachine(1, 2), 2, func(r *Rank) {
+		r.Reduce(5, Sum, []float64{1})
+	})
+	if err == nil {
+		t.Error("expected error for invalid root")
+	}
+}
+
+func TestReduceLengthMismatch(t *testing.T) {
+	_, err := Run(testMachine(1, 2), 2, func(r *Rank) {
+		r.Reduce(0, Sum, make([]float64, 1+r.ID()))
+	})
+	if err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}

@@ -1,0 +1,378 @@
+// Package simmpi is a deterministic virtual-time message-passing
+// machine: the substrate on which every application simulator in this
+// repository runs.
+//
+// Each rank executes as a goroutine carrying a private virtual clock.
+// Compute advances the clock by work/CPU-speed; point-to-point and
+// collective operations synchronise clocks through the machine's link
+// cost model (latency, bandwidth, sender overhead, distinct intra-
+// and inter-node links). The simulated execution time of a parallel
+// program is the maximum rank clock at completion — so load imbalance,
+// communication volume, and topology alignment all surface exactly as
+// they would on a real cluster, while a 480-rank ocean-model step
+// simulates in milliseconds of wall-clock time.
+//
+// The simulation is conservative and deterministic: message matching
+// is by explicit (source, tag) with per-pair FIFO order, there is no
+// wildcard receive, and collective operations are program-ordered
+// rendezvous points. Deterministic rank programs therefore produce
+// bit-identical virtual timings across runs.
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"harmony/internal/cluster"
+)
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (op Op) apply(a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Max:
+		return math.Max(a, b)
+	case Min:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("simmpi: unknown op %d", int(op)))
+	}
+}
+
+// Stats summarises one simulated run.
+type Stats struct {
+	// Time is the virtual completion time of the job: the maximum
+	// rank clock, in seconds.
+	Time float64
+	// RankClocks holds each rank's final virtual clock.
+	RankClocks []float64
+	// ComputeTime holds each rank's accumulated compute seconds.
+	ComputeTime []float64
+	// WaitTime holds each rank's accumulated blocked/idle seconds
+	// (clock advanced by waiting on communication rather than
+	// computing or sending).
+	WaitTime []float64
+	// BytesSent is the total payload volume across all messages,
+	// including collective traffic estimates.
+	BytesSent int64
+	// Messages is the number of point-to-point messages.
+	Messages int64
+}
+
+// LoadImbalance returns max(compute)/mean(compute), 1.0 for perfect
+// balance. It returns 1 when no compute was recorded.
+func (s *Stats) LoadImbalance() float64 {
+	var sum, max float64
+	for _, c := range s.ComputeTime {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max * float64(len(s.ComputeTime)) / sum
+}
+
+var errAborted = errors.New("simmpi: world aborted")
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	payload []float64
+	bytes   int
+	depart  float64
+	link    cluster.Link
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]*message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[msgKey][]*message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// World is one simulated job: a machine plus n ranks.
+type World struct {
+	machine *cluster.Machine
+	n       int
+	boxes   []*mailbox
+	coll    *collective
+
+	mu        sync.Mutex
+	aborted   bool
+	bytesSent int64
+	messages  int64
+}
+
+// Rank is the handle a rank program uses for all simulated
+// operations. It must only be used from the goroutine running that
+// rank's program.
+type Rank struct {
+	world *World
+	id    int
+	clock float64
+	comp  float64
+	wait  float64
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.world.n }
+
+// Machine returns the machine the world runs on.
+func (r *Rank) Machine() *cluster.Machine { return r.world.machine }
+
+// Elapsed returns the rank's current virtual clock in seconds.
+func (r *Rank) Elapsed() float64 { return r.clock }
+
+// Run executes body on n simulated ranks of machine m and returns the
+// job statistics. n must not exceed m.Procs(): ranks map to
+// processors node-major. A panic in any rank program aborts the whole
+// world and is returned as an error. If the simulation makes no
+// progress for 60 real seconds (an application deadlock, such as a
+// receive with no matching send), Run aborts and reports it.
+func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
+	if err := m.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if n <= 0 || n > m.Procs() {
+		return Stats{}, fmt.Errorf("simmpi: %d ranks on %s (%d processors)", n, m, m.Procs())
+	}
+	w := &World{machine: m, n: n}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.coll = newCollective(w)
+
+	ranks := make([]*Rank, n)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	for i := 0; i < n; i++ {
+		ranks[i] = &Rank{world: w, id: i}
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, errAborted) {
+						return // secondary victim of an abort
+					}
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("simmpi: rank %d panicked: %v", r.id, p)
+					}
+					errMu.Unlock()
+					w.abort()
+				}
+			}()
+			body(r)
+		}(ranks[i])
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = errors.New("simmpi: no progress for 60s (application deadlock?)")
+		}
+		errMu.Unlock()
+		w.abort()
+		<-done
+	}
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
+
+	st := Stats{
+		RankClocks:  make([]float64, n),
+		ComputeTime: make([]float64, n),
+		WaitTime:    make([]float64, n),
+		BytesSent:   w.bytesSent,
+		Messages:    w.messages,
+	}
+	for i, r := range ranks {
+		st.RankClocks[i] = r.clock
+		st.ComputeTime[i] = r.comp
+		st.WaitTime[i] = r.wait
+		if r.clock > st.Time {
+			st.Time = r.clock
+		}
+	}
+	return st, nil
+}
+
+// abort wakes every blocked rank; their pending operations panic with
+// errAborted, which the rank wrapper swallows.
+func (w *World) abort() {
+	w.mu.Lock()
+	w.aborted = true
+	w.mu.Unlock()
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	w.coll.mu.Lock()
+	w.coll.cond.Broadcast()
+	w.coll.mu.Unlock()
+}
+
+func (w *World) isAborted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aborted
+}
+
+// Compute advances the rank's clock by the time needed to execute the
+// given number of floating-point operations on this rank's processor.
+func (r *Rank) Compute(flops float64) {
+	if flops < 0 {
+		panic(fmt.Sprintf("simmpi: negative work %v", flops))
+	}
+	dt := flops / r.world.machine.SpeedOf(r.id)
+	r.clock += dt
+	r.comp += dt
+}
+
+// Sleep advances the rank's clock by dt seconds without counting it
+// as compute (I/O stalls, fixed software overheads).
+func (r *Rank) Sleep(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("simmpi: negative sleep %v", dt))
+	}
+	r.clock += dt
+}
+
+// Send posts data to dst under tag. The send is eager and
+// non-blocking: the sender pays only the link injection overhead.
+// Message size is 8 bytes per element.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	r.send(dst, tag, append([]float64(nil), data...), 8*len(data))
+}
+
+// SendBytes posts a payload-free message of the given size: the
+// receiver observes only its timing cost. Used by simulators that
+// model data movement without carrying values.
+func (r *Rank) SendBytes(dst, tag, bytes int) {
+	r.send(dst, tag, nil, bytes)
+}
+
+func (r *Rank) send(dst, tag int, payload []float64, bytes int) {
+	w := r.world
+	if dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("simmpi: rank %d sends to invalid rank %d", r.id, dst))
+	}
+	if dst == r.id {
+		panic(fmt.Sprintf("simmpi: rank %d sends to itself", r.id))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("simmpi: negative message size %d", bytes))
+	}
+	link := w.machine.LinkBetween(r.id, dst)
+	r.clock += link.Overhead
+	m := &message{payload: payload, bytes: bytes, depart: r.clock, link: link}
+
+	mb := w.boxes[dst]
+	mb.mu.Lock()
+	key := msgKey{src: r.id, tag: tag}
+	mb.queues[key] = append(mb.queues[key], m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+
+	w.mu.Lock()
+	w.bytesSent += int64(bytes)
+	w.messages++
+	w.mu.Unlock()
+}
+
+// Recv blocks until a message from src under tag is available,
+// advances the clock to the message arrival time, and returns the
+// payload (nil for SendBytes messages).
+func (r *Rank) Recv(src, tag int) []float64 {
+	w := r.world
+	if src < 0 || src >= w.n {
+		panic(fmt.Sprintf("simmpi: rank %d receives from invalid rank %d", r.id, src))
+	}
+	mb := w.boxes[r.id]
+	key := msgKey{src: src, tag: tag}
+	mb.mu.Lock()
+	for len(mb.queues[key]) == 0 {
+		if w.isAborted() {
+			mb.mu.Unlock()
+			panic(errAborted)
+		}
+		mb.cond.Wait()
+	}
+	q := mb.queues[key]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, key)
+	} else {
+		mb.queues[key] = q[1:]
+	}
+	mb.mu.Unlock()
+
+	arrival := m.depart + m.link.Latency + float64(m.bytes)/m.link.Bandwidth
+	if arrival > r.clock {
+		r.wait += arrival - r.clock
+		r.clock = arrival
+	}
+	return m.payload
+}
+
+// SendRecv exchanges messages with a peer: posts the send, then
+// receives. Safe for symmetric halo exchanges because sends are
+// non-blocking.
+func (r *Rank) SendRecv(peer, tag int, data []float64) []float64 {
+	r.Send(peer, tag, data)
+	return r.Recv(peer, tag)
+}
+
+// worstLink returns the most expensive link class in use: the
+// inter-node link when the world spans several nodes, otherwise the
+// intra-node link.
+func (w *World) worstLink() cluster.Link {
+	if w.n > w.machine.PPN {
+		return w.machine.Inter
+	}
+	return w.machine.Intra
+}
+
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}

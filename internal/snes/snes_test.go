@@ -1,0 +1,131 @@
+package snes
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/simmpi"
+)
+
+func machine(p int) *cluster.Machine {
+	g := make([]float64, p)
+	for i := range g {
+		g[i] = 1.0
+	}
+	return &cluster.Machine{
+		Name: "t", Nodes: p, PPN: 1, Gflops: g,
+		Intra: cluster.Link{Latency: 1e-6, Bandwidth: 1e9, Overhead: 1e-7},
+		Inter: cluster.Link{Latency: 1e-5, Bandwidth: 1e8, Overhead: 1e-6},
+	}
+}
+
+func TestNewtonSolvesScalarSystem(t *testing.T) {
+	// F_i(x) = x_i^3 - 8, root x = 2, fully local (diagonal system)
+	// distributed over 2 ranks.
+	var res Result
+	_, err := simmpi.Run(machine(2), 2, func(r *simmpi.Rank) {
+		f := func(x []float64) []float64 {
+			out := make([]float64, len(x))
+			for i := range x {
+				out[i] = x[i]*x[i]*x[i] - 8
+			}
+			r.Compute(float64(4 * len(x)))
+			return out
+		}
+		x0 := []float64{1, 5, 3}
+		x, rl := Solve(r, f, x0, Options{Rtol: 1e-10})
+		if r.ID() == 0 {
+			res = rl
+		}
+		for _, v := range x {
+			if math.Abs(v-2) > 1e-6 {
+				panic("wrong root")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("Newton did not converge: %+v", res)
+	}
+	if res.NewtonIterations == 0 || res.FuncEvaluations == 0 {
+		t.Errorf("implausible stats: %+v", res)
+	}
+}
+
+func TestNewtonCoupledSystem(t *testing.T) {
+	// A coupled 1-D nonlinear chain on one rank:
+	// F_i = 2x_i - x_{i-1} - x_{i+1} + 0.1 e^{x_i} - 1.
+	_, err := simmpi.Run(machine(1), 1, func(r *simmpi.Rank) {
+		n := 20
+		f := func(x []float64) []float64 {
+			out := make([]float64, n)
+			for i := 0; i < n; i++ {
+				var left, right float64
+				if i > 0 {
+					left = x[i-1]
+				}
+				if i < n-1 {
+					right = x[i+1]
+				}
+				out[i] = 2*x[i] - left - right + 0.1*math.Exp(x[i]) - 1
+			}
+			r.Compute(float64(20 * n))
+			return out
+		}
+		x, res := Solve(r, f, make([]float64, n), Options{Rtol: 1e-10})
+		if !res.Converged {
+			panic("no convergence")
+		}
+		// Residual at solution must be tiny.
+		final := f(x)
+		for _, v := range final {
+			if math.Abs(v) > 1e-6 {
+				panic("large residual")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNewtonAlreadyConverged(t *testing.T) {
+	_, err := simmpi.Run(machine(1), 1, func(r *simmpi.Rank) {
+		f := func(x []float64) []float64 {
+			out := make([]float64, len(x))
+			for i := range x {
+				out[i] = x[i] - 2
+			}
+			return out
+		}
+		_, res := Solve(r, f, []float64{2, 2}, Options{})
+		if !res.Converged || res.NewtonIterations != 0 {
+			panic("should converge immediately")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNewtonIterationBudget(t *testing.T) {
+	_, err := simmpi.Run(machine(1), 1, func(r *simmpi.Rank) {
+		f := func(x []float64) []float64 {
+			out := make([]float64, len(x))
+			for i := range x {
+				out[i] = math.Atan(x[i]) // root at 0, slow from far away
+			}
+			return out
+		}
+		_, res := Solve(r, f, []float64{300}, Options{MaxNewton: 2, Rtol: 1e-14})
+		if res.NewtonIterations > 2 {
+			panic("budget exceeded")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package sparse provides compressed-sparse-row matrices, row
+// partitions, and distributed matrix-vector products over the
+// simulated message-passing machine — the data-structure layer of the
+// mini-PETSc used by the paper's first case study.
+//
+// A matrix is stored globally (the simulator host holds all data) but
+// operated on distributively: a Partition assigns contiguous row
+// ranges to ranks, and DistMatrix precomputes, per rank, which remote
+// vector entries its rows touch. During a simulated solve each rank
+// exchanges exactly those entries, paying the machine's communication
+// costs, then computes its local product, paying compute cost
+// proportional to its local nonzeros. Moving a partition boundary
+// therefore shifts both load balance and communication volume —
+// the two effects the paper tunes in Section IV.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a square sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int
+	RowPtr []int // len N+1
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Col) }
+
+// RowNNZ returns the number of stored entries in rows [lo, hi).
+func (a *CSR) RowNNZ(lo, hi int) int {
+	return a.RowPtr[hi] - a.RowPtr[lo]
+}
+
+// MulVec computes y = A·x densely on the host (no simulation); used
+// as the reference implementation in tests.
+func (a *CSR) MulVec(x []float64) []float64 {
+	if len(x) != a.N {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: %d vs %d", len(x), a.N))
+	}
+	y := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// builder accumulates triplets then freezes them into CSR.
+type builder struct {
+	n    int
+	rows []map[int]float64
+}
+
+func newBuilder(n int) *builder {
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		rows[i] = make(map[int]float64, 8)
+	}
+	return &builder{n: n, rows: rows}
+}
+
+func (b *builder) add(i, j int, v float64) { b.rows[i][j] += v }
+
+func (b *builder) set(i, j int, v float64) { b.rows[i][j] = v }
+
+func (b *builder) build() *CSR {
+	a := &CSR{N: b.n, RowPtr: make([]int, b.n+1)}
+	for i, row := range b.rows {
+		cols := make([]int, 0, len(row))
+		for j := range row {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		for _, j := range cols {
+			a.Col = append(a.Col, j)
+			a.Val = append(a.Val, row[j])
+		}
+		a.RowPtr[i+1] = len(a.Col)
+	}
+	return a
+}
+
+// Poisson2D builds the standard 5-point finite-difference Laplacian
+// on an nx×ny grid with Dirichlet boundaries: the matrix of the
+// paper's first PETSc example (SLES on a linear system). N = nx·ny.
+func Poisson2D(nx, ny int) *CSR {
+	b := newBuilder(nx * ny)
+	idx := func(i, j int) int { return j*nx + i }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			r := idx(i, j)
+			b.set(r, r, 4)
+			if i > 0 {
+				b.set(r, idx(i-1, j), -1)
+			}
+			if i < nx-1 {
+				b.set(r, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				b.set(r, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				b.set(r, idx(i, j+1), -1)
+			}
+		}
+	}
+	return b.build()
+}
+
+// Block describes one dense sub-block on the diagonal.
+type Block struct {
+	Start, Size int
+}
+
+// DenseBlockLaplacian builds the Fig. 2 test matrix: a 1-D Laplacian
+// chain of size n with dense symmetric positive-definite sub-blocks
+// injected on the diagonal. The dense blocks model strongly coupled
+// regions; a partition boundary that cuts through one turns its
+// couplings into remote references, exactly the effect shown in the
+// paper's Fig. 2(a) (boundary A versus boundary B).
+func DenseBlockLaplacian(n int, blocks []Block) *CSR {
+	b := newBuilder(n)
+	for i := 0; i < n; i++ {
+		b.set(i, i, 4)
+		if i > 0 {
+			b.set(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.set(i, i+1, -1)
+		}
+	}
+	for _, blk := range blocks {
+		end := blk.Start + blk.Size
+		if blk.Start < 0 || end > n || blk.Size <= 0 {
+			panic(fmt.Sprintf("sparse: block [%d,%d) outside matrix of size %d", blk.Start, end, n))
+		}
+		for i := blk.Start; i < end; i++ {
+			for j := blk.Start; j < end; j++ {
+				if i == j {
+					// Keep diagonal dominance: the row gains Size-1
+					// off-diagonal entries of magnitude 0.01.
+					b.add(i, i, 0.02*float64(blk.Size))
+				} else {
+					b.add(i, j, -0.01)
+				}
+			}
+		}
+	}
+	return b.build()
+}
+
+// VariableBandLaplacian builds a symmetric positive-definite matrix
+// whose per-row density varies smoothly along the diagonal: row i
+// couples to its band(i)/2 nearest neighbours on each side, where
+// band oscillates between minBand and maxBand over `waves` periods.
+// Under an equal-rows decomposition the dense regions overload some
+// ranks — the load-imbalance landscape of the paper's Fig. 2 — while
+// staying smooth enough for a direct search to navigate.
+func VariableBandLaplacian(n, minBand, maxBand, waves int) *CSR {
+	if minBand < 2 || maxBand < minBand || n < maxBand {
+		panic(fmt.Sprintf("sparse: bad band spec n=%d band=[%d,%d]", n, minBand, maxBand))
+	}
+	b := newBuilder(n)
+	band := func(i int) int {
+		phase := 2 * math.Pi * float64(waves) * float64(i) / float64(n)
+		w := float64(minBand) + (float64(maxBand-minBand))*(0.5+0.5*math.Sin(phase))
+		return int(w)
+	}
+	for i := 0; i < n; i++ {
+		half := band(i) / 2
+		for k := 1; k <= half && i+k < n; k++ {
+			v := -1.0 / float64(k)
+			b.set(i, i+k, v)
+			b.set(i+k, i, v)
+		}
+	}
+	// Diagonal dominance.
+	for i := 0; i < n; i++ {
+		var off float64
+		for j, v := range b.rows[i] {
+			if j != i {
+				off += math.Abs(v)
+			}
+		}
+		b.set(i, i, off+1)
+	}
+	return b.build()
+}
+
+// RandomBlocks places count non-overlapping dense blocks of the given
+// size at deterministic pseudo-random positions in [0, n).
+func RandomBlocks(n, count, size int, seed int64) []Block {
+	if count*size > n {
+		panic(fmt.Sprintf("sparse: %d blocks of %d rows exceed matrix size %d", count, size, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Choose gaps between blocks by distributing the slack.
+	slack := n - count*size
+	cuts := make([]int, count)
+	for i := range cuts {
+		cuts[i] = rng.Intn(slack + 1)
+	}
+	sort.Ints(cuts)
+	blocks := make([]Block, count)
+	pos := 0
+	prev := 0
+	for i := range blocks {
+		pos += cuts[i] - prev
+		prev = cuts[i]
+		blocks[i] = Block{Start: pos, Size: size}
+		pos += size
+	}
+	return blocks
+}
+
+// Partition assigns contiguous row ranges to P ranks.
+// Starts has length P+1 with Starts[0]=0 and Starts[P]=N.
+type Partition struct {
+	Starts []int
+}
+
+// EvenPartition splits n rows into p nearly equal ranges — the
+// default configuration in the paper's experiments.
+func EvenPartition(n, p int) Partition {
+	starts := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		starts[i] = i * n / p
+	}
+	return Partition{Starts: starts}
+}
+
+// FromBoundaries builds a partition of n rows from p-1 interior
+// boundary rows. The boundaries are repaired rather than rejected:
+// they are sorted and then nudged so every partition keeps at least
+// one row (the paper requires "each partition has at least one row").
+// Repairing keeps the tuning search space box-shaped, which the
+// simplex needs; it implements the dependent-parameter handling of
+// the authors' SC'04 techniques.
+func FromBoundaries(n int, bounds []int) Partition {
+	p := len(bounds) + 1
+	if n < p {
+		panic(fmt.Sprintf("sparse: %d rows cannot form %d partitions", n, p))
+	}
+	bs := append([]int(nil), bounds...)
+	sort.Ints(bs)
+	starts := make([]int, p+1)
+	starts[p] = n
+	for i := 1; i < p; i++ {
+		b := bs[i-1]
+		if min := i; b < min { // leave >=1 row for each earlier partition
+			b = min
+		}
+		if max := n - (p - i); b > max { // and for each later partition
+			b = max
+		}
+		if b <= starts[i-1] {
+			b = starts[i-1] + 1
+		}
+		starts[i] = b
+	}
+	return Partition{Starts: starts}
+}
+
+// P returns the number of ranges.
+func (pt Partition) P() int { return len(pt.Starts) - 1 }
+
+// Range returns the row range [lo, hi) of the given rank.
+func (pt Partition) Range(rank int) (lo, hi int) {
+	return pt.Starts[rank], pt.Starts[rank+1]
+}
+
+// Size returns the number of rows owned by rank.
+func (pt Partition) Size(rank int) int {
+	lo, hi := pt.Range(rank)
+	return hi - lo
+}
+
+// OwnerOf returns the rank owning the given row.
+func (pt Partition) OwnerOf(row int) int {
+	// Binary search over Starts.
+	lo, hi := 0, pt.P()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pt.Starts[mid+1] <= row {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Validate checks the partition covers [0, n) monotonically with
+// non-empty ranges.
+func (pt Partition) Validate(n int) error {
+	if len(pt.Starts) < 2 {
+		return fmt.Errorf("sparse: partition has %d starts", len(pt.Starts))
+	}
+	if pt.Starts[0] != 0 || pt.Starts[pt.P()] != n {
+		return fmt.Errorf("sparse: partition spans [%d,%d), want [0,%d)", pt.Starts[0], pt.Starts[pt.P()], n)
+	}
+	for i := 0; i < pt.P(); i++ {
+		if pt.Starts[i+1] <= pt.Starts[i] {
+			return fmt.Errorf("sparse: partition range %d is empty", i)
+		}
+	}
+	return nil
+}
