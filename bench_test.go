@@ -8,7 +8,10 @@ package harmony_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"harmony"
 	"harmony/internal/cluster"
@@ -233,6 +236,58 @@ func BenchmarkFig6GS2Distribution(b *testing.B) {
 		frac = trace.FractionBelow(sys.Values, sum.Min*1.6)
 	}
 	b.ReportMetric(100*frac, "%within-1.6x-of-best")
+}
+
+// BenchmarkTuneParallel measures the wall-clock benefit of the
+// parallel evaluation engine on a PRO session against the Fig. 2
+// PETSc decomposition objective. Each evaluation pays a real-time
+// job-launch latency on top of the simulated execution — the re-run
+// and warm-up costs the paper charges to tuning time — and parallel
+// workers overlap those launches. Accounting (charged runs, best
+// value) is identical at every worker count; compare ns/op across the
+// sub-benchmarks for the speedup.
+func BenchmarkTuneParallel(b *testing.B) {
+	app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
+	m := cluster.Seaborg(4, 1)
+	const launch = 10 * time.Millisecond
+	base := app.Objective(m)
+	obj := func(ctx context.Context, cfg space.Config) (float64, error) {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(launch):
+		}
+		return base(ctx, cfg)
+	}
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	var runs1 int
+	var best1 float64
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				sp := app.Space()
+				var err error
+				res, err = core.Tune(context.Background(), sp,
+					search.NewPRO(sp, search.PROOptions{Seed: 11}),
+					obj, core.Options{MaxRuns: 50, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if workers == 1 {
+				runs1, best1 = res.Runs, res.BestValue
+			} else if res.Runs != runs1 || res.BestValue > best1 {
+				b.Fatalf("workers=%d: runs=%d best=%v, sequential runs=%d best=%v",
+					workers, res.Runs, res.BestValue, runs1, best1)
+			}
+			b.ReportMetric(float64(res.Runs), "runs")
+		})
+	}
 }
 
 // --- Component micro-benchmarks ---

@@ -60,26 +60,32 @@ type Spec struct {
 	Machine  string            `json:"machine"`
 	Strategy string            `json:"strategy"`
 	MaxRuns  int               `json:"max_runs"`
-	Metric   string            `json:"metric"`
-	Seed     int64             `json:"seed"`
-	Params   []proto.ParamSpec `json:"params"`
-	Command  []string          `json:"command"`
+	// Workers is the number of benchmarking runs to keep in flight at
+	// once (distinct configurations launched concurrently). The
+	// command must tolerate concurrent invocations. 0 or 1 runs
+	// sequentially; the -workers flag overrides.
+	Workers int               `json:"workers"`
+	Metric  string            `json:"metric"`
+	Seed    int64             `json:"seed"`
+	Params  []proto.ParamSpec `json:"params"`
+	Command []string          `json:"command"`
 }
 
 func main() {
 	historyPath := flag.String("history", "", "tuning-history file for seeding and recording")
+	workers := flag.Int("workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-v] spec.json")
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-workers N] [-v] spec.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *historyPath, *verbose); err != nil {
+	if err := run(flag.Arg(0), *historyPath, *workers, *verbose); err != nil {
 		log.Fatalf("htune: %v", err)
 	}
 }
 
-func run(specPath, historyPath string, verbose bool) error {
+func run(specPath, historyPath string, workers int, verbose bool) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -116,7 +122,10 @@ func run(specPath, historyPath string, verbose bool) error {
 	if err != nil {
 		return err
 	}
-	opt := core.Options{MaxRuns: spec.MaxRuns}
+	if workers > 0 {
+		spec.Workers = workers
+	}
+	opt := core.Options{MaxRuns: spec.MaxRuns, Workers: spec.Workers}
 	if verbose {
 		opt.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -135,6 +144,9 @@ func run(specPath, historyPath string, verbose bool) error {
 	fmt.Printf("  objective %.6g (first run %.6g, improvement %.1f%%, speedup %.2fx)\n",
 		res.BestValue, res.FirstValue, 100*res.Improvement(), res.Speedup())
 	fmt.Printf("  total tuning cost: %.1f s of application time\n", res.TuningCost)
+	if res.SpeculativeRuns > 0 {
+		fmt.Printf("  speculative runs: %d launched ahead of need, %d used\n", res.SpeculativeRuns, res.SpeculativeHits)
+	}
 
 	if store != nil {
 		if err := store.Add(history.Record{

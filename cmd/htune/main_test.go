@@ -46,7 +46,7 @@ func TestHtuneEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	spec := writeSpec(t, dir, nil)
 	hist := filepath.Join(dir, "hist.json")
-	if err := run(spec, hist, false); err != nil {
+	if err := run(spec, hist, 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// The history must record a near-optimal x.
@@ -74,7 +74,7 @@ func TestHtuneEnvSubstitution(t *testing.T) {
 		s.Command = []string{"/bin/sh", "-c", "echo $(( ($HT_X-42)*($HT_X-42) ))"}
 		s.MaxRuns = 20
 	})
-	if err := run(spec, "", false); err != nil {
+	if err := run(spec, "", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -91,7 +91,7 @@ func TestHtuneBadSpecs(t *testing.T) {
 			`{"strategy":"annealing","command":["true"],"params":[{"name":"x","kind":"int","min":0,"max":1,"step":1}]}`),
 	}
 	for name, path := range cases {
-		if err := run(path, "", false); err == nil {
+		if err := run(path, "", 0, false); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
@@ -114,7 +114,7 @@ func TestHtuneFailingCommand(t *testing.T) {
 	})
 	// All runs fail -> no usable evaluations, but the driver reports
 	// it gracefully rather than crashing.
-	if err := run(spec, "", false); err != nil {
+	if err := run(spec, "", 0, false); err != nil {
 		t.Logf("run returned %v (acceptable)", err)
 	}
 }
@@ -147,5 +147,22 @@ func TestSubstitute(t *testing.T) {
 	got := substitute("--x={x} --y={y} --x2={x}", map[string]string{"x": "5", "y": "q"})
 	if got != "--x=5 --y=q --x2=5" {
 		t.Errorf("substitute = %q", got)
+	}
+}
+
+// TestHtuneParallelWorkers drives the same shell objective through
+// the parallel engine: the PRO rounds fan concurrent command
+// invocations out over the worker pool.
+func TestHtuneParallelWorkers(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("no /bin/sh")
+	}
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, func(s *Spec) {
+		s.Strategy = "pro"
+		s.MaxRuns = 20
+	})
+	if err := run(spec, "", 3, false); err != nil {
+		t.Fatalf("run with 3 workers: %v", err)
 	}
 }

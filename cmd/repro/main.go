@@ -6,14 +6,15 @@
 //	repro [flags] <experiment>
 //
 // Experiments: fig2, fig3, fig4, fig5, fig6, table1, table2, table3,
-// table4, all.
+// table4, online, fidelity, parallel, all.
 //
 // Flags:
 //
-//	-quick   shrink problem sizes and budgets (seconds instead of
-//	         minutes; used by tests)
-//	-large   also run the large-problem variants of fig2/fig3
-//	-seed N  random seed for seeded strategies
+//	-quick      shrink problem sizes and budgets (seconds instead of
+//	            minutes; used by tests)
+//	-large      also run the large-problem variants of fig2/fig3
+//	-seed N     random seed for seeded strategies
+//	-workers N  worker pool size for the parallel experiment
 //
 // Absolute simulated seconds are not expected to match the paper's
 // testbeds; the shapes (who wins, by what factor, where the optimum
@@ -30,9 +31,10 @@ import (
 )
 
 type options struct {
-	quick bool
-	large bool
-	seed  int64
+	quick   bool
+	large   bool
+	seed    int64
+	workers int
 }
 
 var experiments = map[string]struct {
@@ -50,10 +52,11 @@ var experiments = map[string]struct {
 	"fig6":     {runFig6, "GS2 configuration-performance distribution"},
 	"online":   {runOnline, "extension: on-line vs off-line tuning (the paper's future work)"},
 	"fidelity": {runFidelity, "extension: fidelity-aware objectives (the paper's Section VII)"},
+	"parallel": {runParallel, "extension: parallel tuning clients (PRO fan-out and speculative simplex)"},
 }
 
 var experimentOrder = []string{
-	"fig2", "fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "fig6", "online", "fidelity",
+	"fig2", "fig3", "fig4", "table1", "table2", "fig5", "table3", "table4", "fig6", "online", "fidelity", "parallel",
 }
 
 func main() {
@@ -61,6 +64,7 @@ func main() {
 	flag.BoolVar(&o.quick, "quick", false, "shrink problem sizes and budgets")
 	flag.BoolVar(&o.large, "large", false, "also run large-problem variants")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for randomised strategies")
+	flag.IntVar(&o.workers, "workers", 4, "worker pool size for the parallel experiment")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {

@@ -11,7 +11,9 @@
 //     Harmony kernel), coordinate descent, random, systematic
 //     sampling, and exhaustive enumeration,
 //   - the off-line iterative tuner (Tune) that drives an application
-//     objective through representative short runs,
+//     objective through representative short runs, and its parallel
+//     counterpart (TuneParallel) that keeps several evaluations in
+//     flight at once,
 //   - the on-line client/server protocol (Server, Client) with which
 //     a running application fetches configurations and reports
 //     performance,
@@ -78,6 +80,13 @@ func EnumParam(name string, values ...string) Param { return space.EnumParam(nam
 type (
 	// Strategy is the ask/tell interface all search methods share.
 	Strategy = search.Strategy
+	// BatchStrategy extends Strategy with whole rounds of independent
+	// proposals, evaluable concurrently. PRO, Random, Systematic and
+	// Exhaustive implement it natively; AsBatch adapts the rest.
+	BatchStrategy = search.BatchStrategy
+	// Speculator is implemented by sequential strategies that can
+	// name likely follow-up proposals for prefetching (the simplex).
+	Speculator = search.Speculator
 	// Simplex is the integer-adapted Nelder–Mead strategy.
 	Simplex = search.Simplex
 	// SimplexOptions configure a Simplex.
@@ -122,6 +131,11 @@ func NewExhaustive(sp *Space) *Exhaustive { return search.NewExhaustive(sp) }
 // NewPRO constructs the Parallel Rank Order population strategy.
 func NewPRO(sp *Space, opt PROOptions) *PRO { return search.NewPRO(sp, opt) }
 
+// AsBatch returns the strategy's batch view: the strategy itself when
+// it implements BatchStrategy natively, otherwise an adapter that
+// yields batches of one.
+func AsBatch(strat Strategy) BatchStrategy { return search.AsBatch(strat) }
+
 // Off-line tuning.
 type (
 	// Objective measures one configuration (lower is better).
@@ -137,9 +151,20 @@ type (
 // Tune drives a strategy against an objective: the off-line iterative
 // tuning mode the paper adds to Active Harmony. Evaluations are
 // memoised, budgets and cancellation are honoured, and the full trial
-// log is returned.
+// log is returned. Setting Options.Workers > 1 routes the session
+// through TuneParallel.
 func Tune(ctx context.Context, sp *Space, strat Strategy, obj Objective, opt Options) (*Result, error) {
 	return core.Tune(ctx, sp, strat, obj, opt)
+}
+
+// TuneParallel is Tune with up to Options.Workers objective
+// evaluations in flight at once: whole rounds of a BatchStrategy are
+// fanned out over a worker pool and sequential strategies that
+// implement Speculator have their likely follow-ups prefetched.
+// Accounting is deterministic and identical to Tune for every worker
+// count; the objective must tolerate concurrent calls.
+func TuneParallel(ctx context.Context, sp *Space, strat Strategy, obj Objective, opt Options) (*Result, error) {
+	return core.TuneParallel(ctx, sp, strat, obj, opt)
 }
 
 // Multi-metric objectives (the paper's Section VII fidelity

@@ -62,14 +62,22 @@ type Registration struct {
 	// Reporters is the number of clients that will report for each
 	// configuration (one per node of a parallel job). 0 means 1.
 	Reporters int
+	// Parallel fans the independent proposals of each search round
+	// out to concurrent clients: every Fetch may receive a different
+	// configuration of the round (PRO's parallel-clients mode) rather
+	// than all clients measuring the same one. Each Session tracks
+	// the tag of its last fetched configuration, so use one Session
+	// (via Attach) per concurrent client.
+	Parallel bool
 	// Seed feeds randomised strategies.
 	Seed int64
 }
 
 // Session is a registered tuning session.
 type Session struct {
-	c  *Client
-	id string
+	c   *Client
+	id  string
+	tag int // tag of the last fetched configuration (parallel mode)
 }
 
 // Register creates a tuning session on the server.
@@ -85,6 +93,7 @@ func (c *Client) Register(reg Registration) (*Session, error) {
 		Space:     proto.EncodeSpace(reg.Space),
 		MaxRuns:   reg.MaxRuns,
 		Reporters: reg.Reporters,
+		Parallel:  reg.Parallel,
 		Seed:      reg.Seed,
 	}
 	reply, err := c.roundTrip(msg)
@@ -132,13 +141,14 @@ func (s *Session) Fetch() (values map[string]string, converged bool, err error) 
 	if reply.Type != proto.TypeConfig {
 		return nil, false, fmt.Errorf("client: unexpected fetch reply %q", reply.Type)
 	}
+	s.tag = reply.Tag
 	return reply.Values, reply.Converged, nil
 }
 
 // Report delivers the performance measured under the configuration
 // from the preceding Fetch. Lower is better.
 func (s *Session) Report(perf float64) error {
-	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeReport, Session: s.id, Perf: perf})
+	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeReport, Session: s.id, Perf: perf, Tag: s.tag})
 	if err != nil {
 		return err
 	}

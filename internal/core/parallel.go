@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"harmony/internal/search"
+	"harmony/internal/space"
+)
+
+// applyProposalDefault fills in the MaxProposals guard shared by both
+// engines.
+func applyProposalDefault(opt *Options) {
+	if opt.MaxProposals == 0 {
+		if opt.MaxRuns > 0 {
+			opt.MaxProposals = 10 * opt.MaxRuns
+		} else {
+			opt.MaxProposals = 10000
+		}
+	}
+}
+
+// cacheEntry memoises one evaluated lattice point.
+type cacheEntry struct {
+	value float64
+	err   error
+}
+
+// evalJob is one objective evaluation scheduled on the worker pool.
+// pos is the batch position for round proposals and -1 for
+// speculative prefetches.
+type evalJob struct {
+	pos    int
+	key    string
+	cfg    space.Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	value  float64
+	err    error
+	ran    bool // obj was actually invoked (not skipped by cancellation)
+	// cancelled snapshots ctx.Err() != nil right after the pool
+	// drains, before the engine releases every job context.
+	cancelled bool
+}
+
+// roundItem classifies one proposal of a round: memo hit, in-round
+// duplicate (follower of an earlier leader), speculative hit, or
+// fresh evaluation (job != nil).
+type roundItem struct {
+	pt      space.Point
+	key     string
+	cfg     space.Config
+	job     *evalJob
+	leader  int // batch position of the in-round leader, -1 if none
+	memoHit bool
+	specHit bool
+}
+
+// TuneParallel drives the strategy against the objective with up to
+// opt.Workers evaluations in flight at once. It is the parallel
+// counterpart of Tune, modelling the parallel tuning clients the PRO
+// algorithm was designed for: every independent round of a
+// BatchStrategy (the whole PRO trial population, a stride of the
+// samplers' streams) is fanned out over a worker pool, and for
+// sequential strategies that speculate (the simplex) spare workers
+// prefetch the possible follow-up proposals of the current step,
+// discarding the losers.
+//
+// Result accounting is deterministic and identical for every worker
+// count: trials are recorded in proposal order, Runs/TuningCost/
+// BestAtRun carry the same semantics as Tune, MaxRuns is never
+// exceeded by in-flight work (rounds are truncated at the budget
+// boundary before launch), and on StopBelow the stragglers of the
+// round are cancelled and left out of the accounts. Evaluations that
+// were launched but never charged — discarded speculation, cancelled
+// stragglers — are reported in Result.SpeculativeRuns.
+//
+// The strategy itself is engine-locked: all Next/Report/NextBatch/
+// ReportBatch calls happen under a single mutex on the coordinating
+// goroutine, so strategies need no locking of their own. Objectives
+// must be safe for concurrent calls when Workers > 1; each call
+// receives a per-evaluation context that is cancelled when its result
+// can no longer matter.
+func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	applyProposalDefault(&opt)
+
+	bs := search.AsBatch(strat)
+	speculator, _ := bs.(search.Speculator)
+
+	res := &Result{Strategy: strat.Name(), BestValue: math.Inf(1), FirstValue: math.NaN()}
+	memo := make(map[string]cacheEntry)      // charged evaluations
+	specReady := make(map[string]cacheEntry) // prefetched, not yet charged
+	var stratMu sync.Mutex                   // the engine lock on the strategy
+
+	for res.Proposals < opt.MaxProposals {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		stratMu.Lock()
+		batch := bs.NextBatch()
+		var specPts []space.Point
+		if speculator != nil && workers > 1 {
+			specPts = speculator.Speculate(workers)
+		}
+		stratMu.Unlock()
+		if len(batch) == 0 {
+			res.Converged = true
+			break
+		}
+		if rem := opt.MaxProposals - res.Proposals; len(batch) > rem {
+			batch = batch[:rem]
+		}
+
+		// Classify the round in proposal order. Fresh evaluations and
+		// speculative hits consume run budget; the round is truncated
+		// before the first proposal the budget cannot cover, so
+		// in-flight work can never exceed MaxRuns.
+		items := make([]roundItem, 0, len(batch))
+		leaderAt := make(map[string]int)
+		var freshJobs []*evalJob
+		budgetRuns := res.Runs
+		truncated := false
+		for _, pt := range batch {
+			key := pt.Key()
+			cfg, err := sp.Decode(pt)
+			if err != nil {
+				return res, fmt.Errorf("core: strategy %s proposed undecodable point %v: %w", strat.Name(), pt, err)
+			}
+			it := roundItem{pt: pt, key: key, cfg: cfg, leader: -1}
+			if _, ok := memo[key]; ok {
+				it.memoHit = true
+			} else if lead, ok := leaderAt[key]; ok {
+				it.leader = lead
+			} else {
+				if opt.MaxRuns > 0 && budgetRuns >= opt.MaxRuns {
+					truncated = true
+					break
+				}
+				budgetRuns++
+				leaderAt[key] = len(items)
+				if _, ok := specReady[key]; ok {
+					it.specHit = true
+				} else {
+					jctx, jcancel := context.WithCancel(ctx)
+					it.job = &evalJob{pos: len(items), key: key, cfg: cfg, ctx: jctx, cancel: jcancel}
+					freshJobs = append(freshJobs, it.job)
+				}
+			}
+			items = append(items, it)
+		}
+
+		// Speculative prefetches ride on workers the round leaves
+		// idle. Points already evaluated, already prefetched, or part
+		// of this round are skipped.
+		var specJobs []*evalJob
+		if spare := workers - len(freshJobs); spare > 0 && len(specPts) > 0 && !truncated {
+			seen := make(map[string]bool)
+			for _, pt := range specPts {
+				if len(specJobs) == spare {
+					break
+				}
+				key := pt.Key()
+				if seen[key] {
+					continue
+				}
+				if _, ok := leaderAt[key]; ok {
+					continue
+				}
+				if _, ok := memo[key]; ok {
+					continue
+				}
+				if _, ok := specReady[key]; ok {
+					continue
+				}
+				cfg, err := sp.Decode(pt)
+				if err != nil {
+					continue // never fail the session on a speculative point
+				}
+				seen[key] = true
+				jctx, jcancel := context.WithCancel(ctx)
+				specJobs = append(specJobs, &evalJob{pos: -1, key: key, cfg: cfg, ctx: jctx, cancel: jcancel})
+			}
+		}
+
+		// Fan the round out. A completed evaluation at or below
+		// StopBelow cancels every job at a later batch position and
+		// all speculation: their results cannot be charged, because
+		// the session deterministically ends at the earliest
+		// StopBelow proposal, exactly as in the sequential engine.
+		jobs := append(append([]*evalJob(nil), freshJobs...), specJobs...)
+		if len(jobs) > 0 {
+			var stopMu sync.Mutex
+			stopPos := -1
+			queue := make(chan *evalJob)
+			var wg sync.WaitGroup
+			n := workers
+			if n > len(jobs) {
+				n = len(jobs)
+			}
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range queue {
+						if j.ctx.Err() != nil {
+							j.err = j.ctx.Err()
+							continue
+						}
+						j.ran = true
+						j.value, j.err = obj(j.ctx, j.cfg)
+						if j.err == nil && opt.StopBelow != 0 && j.value <= opt.StopBelow && j.pos >= 0 {
+							stopMu.Lock()
+							if stopPos == -1 || j.pos < stopPos {
+								stopPos = j.pos
+								for _, other := range jobs {
+									if other.pos > j.pos || other.pos < 0 {
+										other.cancel()
+									}
+								}
+							}
+							stopMu.Unlock()
+						}
+					}
+				}()
+			}
+			for _, j := range jobs {
+				queue <- j
+			}
+			close(queue)
+			wg.Wait()
+			for _, j := range jobs {
+				j.cancelled = j.ctx.Err() != nil
+				j.cancel()
+			}
+		}
+
+		// Bank completed speculation. Prefetches cut short by
+		// cancellation are dropped; genuine objective failures are
+		// kept, because an on-demand run of that point would have
+		// failed identically.
+		for _, j := range specJobs {
+			if !j.ran {
+				continue
+			}
+			res.SpeculativeRuns++
+			if j.cancelled {
+				continue
+			}
+			specReady[j.key] = cacheEntry{value: j.value, err: j.err}
+		}
+
+		// Record the round strictly in proposal order, reproducing
+		// the sequential engine's accounting run for run.
+		stop := false
+		var rPts []space.Point
+		var rVals []float64
+		lastRecorded := -1
+		for i := range items {
+			it := &items[i]
+			var v float64
+			var verr error
+			fresh := !it.memoHit && it.leader < 0
+			if fresh {
+				if it.specHit {
+					e := specReady[it.key]
+					delete(specReady, it.key)
+					v, verr = e.value, e.err
+					res.SpeculativeHits++
+				} else {
+					j := it.job
+					if j.err != nil && ctx.Err() != nil {
+						return res, ctx.Err()
+					}
+					if !j.ran || j.cancelled {
+						// Cancelled straggler: the session ends at an
+						// earlier StopBelow proposal; never charged.
+						stop = true
+						break
+					}
+					v, verr = j.value, j.err
+				}
+			}
+			res.Proposals++
+			trial := Trial{Proposal: res.Proposals, Point: it.pt.Clone(), Config: it.cfg}
+			if !fresh {
+				var e cacheEntry
+				if it.memoHit {
+					e = memo[it.key]
+				} else {
+					e = memo[items[it.leader].key]
+				}
+				trial.Cached, trial.Value, trial.Err = true, e.value, e.err
+			} else {
+				res.Runs++
+				trial.Run = res.Runs
+				if verr != nil {
+					res.Failures++
+					v = math.Inf(1)
+					trial.Err = verr
+					// A failed run still paid its launch and teardown.
+					res.TuningCost += opt.RunOverhead
+				} else {
+					res.TuningCost += v + opt.RunOverhead
+				}
+				trial.Value = v
+				memo[it.key] = cacheEntry{value: v, err: trial.Err}
+				if math.IsNaN(res.FirstValue) {
+					res.FirstValue = v
+				}
+				if v < res.BestValue {
+					res.Best = it.pt.Clone()
+					res.BestConfig = it.cfg
+					res.BestValue = v
+					res.BestAtRun = res.Runs
+				}
+				if opt.Logf != nil {
+					opt.Logf("run %3d (proposal %3d): %s -> %.6g", res.Runs, res.Proposals, it.cfg.Format(), v)
+				}
+			}
+			res.Trials = append(res.Trials, trial)
+			rPts = append(rPts, it.pt)
+			rVals = append(rVals, trial.Value)
+			lastRecorded = i
+			if opt.StopBelow != 0 && res.BestValue <= opt.StopBelow {
+				stop = true
+				break
+			}
+		}
+
+		// Evaluations completed for positions beyond the recorded
+		// prefix were wasted wall-clock, not charged work.
+		if stop {
+			for _, j := range freshJobs {
+				if j.pos > lastRecorded && j.ran && !j.cancelled {
+					res.SpeculativeRuns++
+				}
+			}
+		}
+
+		if len(rPts) > 0 {
+			stratMu.Lock()
+			bs.ReportBatch(rPts, rVals)
+			stratMu.Unlock()
+		}
+		if stop {
+			break
+		}
+		if truncated {
+			// The abandoned proposal is counted, as in Tune.
+			res.Proposals++
+			break
+		}
+	}
+	if res.Runs == 0 {
+		return res, ErrNoEvaluations
+	}
+	return res, nil
+}

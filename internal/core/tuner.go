@@ -47,8 +47,19 @@ type Options struct {
 	// measured objective: job launch, warm-up, teardown. The paper
 	// notes that "our experiments take all costs of parameter changes
 	// (including applications needed to be re-run and their warm up
-	// time) into consideration".
+	// time) into consideration". Failed runs are charged the overhead
+	// too: a configuration that crashes still paid its launch and
+	// teardown.
 	RunOverhead float64
+	// Workers is the number of objective evaluations the engine may
+	// have in flight at once. 0 or 1 select the sequential engine;
+	// larger values route the session through TuneParallel, which
+	// fans each independent round of a BatchStrategy (PRO, random,
+	// systematic, exhaustive) over a worker pool and speculatively
+	// prefetches the follow-up candidates of a sequential simplex
+	// step. Result accounting (Runs, Trials, TuningCost, BestAtRun)
+	// is identical regardless of worker count.
+	Workers int
 	// Logf, if non-nil, receives one line per evaluation.
 	Logf func(format string, args ...any)
 }
@@ -81,6 +92,19 @@ type Result struct {
 	Converged  bool    // the strategy stopped on its own
 	Trials     []Trial
 	BestAtRun  int // run number that produced the incumbent best
+	// SpeculativeRuns counts objective evaluations the parallel
+	// engine launched ahead of need — simplex expansion/contraction
+	// prefetches and round stragglers cancelled by StopBelow. They
+	// consume wall-clock on spare workers but are not charged to
+	// Runs or TuningCost unless the strategy actually proposes them
+	// (see SpeculativeHits); the sequential engine never speculates.
+	SpeculativeRuns int
+	// SpeculativeHits counts speculative evaluations whose point the
+	// strategy later proposed for real. Each hit is charged to Runs
+	// and TuningCost exactly as if it had been evaluated on demand,
+	// so accounting matches the sequential engine; the wall-clock win
+	// is that the result was already in hand.
+	SpeculativeHits int
 }
 
 // Improvement returns the fractional improvement of the best value
@@ -112,13 +136,10 @@ var ErrNoEvaluations = errors.New("core: tuning session performed no evaluations
 // point proposed twice (common for the snapped simplex) costs only
 // one application run.
 func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
-	if opt.MaxProposals == 0 {
-		if opt.MaxRuns > 0 {
-			opt.MaxProposals = 10 * opt.MaxRuns
-		} else {
-			opt.MaxProposals = 10000
-		}
+	if opt.Workers > 1 {
+		return TuneParallel(ctx, sp, strat, obj, opt)
 	}
+	applyProposalDefault(&opt)
 	res := &Result{Strategy: strat.Name(), BestValue: math.Inf(1), FirstValue: math.NaN()}
 	cache := make(map[string]float64)
 	cacheErr := make(map[string]error)
@@ -159,6 +180,8 @@ func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objec
 				res.Failures++
 				v = math.Inf(1)
 				trial.Err = err
+				// A failed run still paid its launch and teardown.
+				res.TuningCost += opt.RunOverhead
 			} else {
 				res.TuningCost += v + opt.RunOverhead
 			}

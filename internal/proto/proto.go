@@ -77,6 +77,18 @@ type Message struct {
 	// since the slowest rank gates a parallel application) before
 	// advancing the search. Defaults to 1.
 	Reporters int `json:"reporters,omitempty"`
+	// Parallel asks the server to fan independent proposals of one
+	// search round out to concurrent clients (the PRO use case):
+	// each fetch may receive a different configuration, identified by
+	// Tag, and the search advances when the whole round is reported.
+	// Without it every client of a session sees the same
+	// configuration.
+	Parallel bool `json:"parallel,omitempty"`
+
+	// config / report: Tag identifies which outstanding proposal of a
+	// parallel session a configuration or report belongs to. The
+	// server assigns it on fetch; clients echo it on report.
+	Tag int `json:"tag,omitempty"`
 
 	// config / best_reply
 	Values    map[string]string `json:"values,omitempty"`

@@ -55,11 +55,12 @@ const (
 // parallel tuning (Tiwari et al.). Every round transforms the whole
 // population through the incumbent best point — reflection first,
 // expansion if the reflection found a new best, shrink otherwise —
-// so all N-1 proposals of a round are independent and could be
-// evaluated concurrently by N-1 parallel clients. This
-// implementation exposes them through the sequential ask/tell
-// Strategy interface; the round structure (and hence the tuning
-// result) is identical.
+// so all N-1 proposals of a round are independent and can be
+// evaluated concurrently by N-1 parallel clients. PRO implements
+// both the sequential ask/tell Strategy interface and BatchStrategy;
+// the round structure (and hence the tuning result) is identical
+// either way: ReportBatch replays the values through the same state
+// machine in the same order Next/Report would have seen them.
 type PRO struct {
 	tracker
 	sp   *space.Space
@@ -154,6 +155,55 @@ func (p *PRO) Next() (space.Point, bool) {
 		return nil, false
 	}
 	return p.pending.Clone(), true
+}
+
+// NextBatch implements BatchStrategy: the remaining proposals of the
+// current phase (initial population, reflected/expanded trial
+// population, or shrunken population), all of which are independent.
+func (p *PRO) NextBatch() []space.Point {
+	if p.pending != nil {
+		// Mid-proposal from interleaved sequential use: finish it as
+		// a batch of one before opening the rest of the phase.
+		return []space.Point{p.pending.Clone()}
+	}
+	var pts []space.Point
+	switch p.state {
+	case proInit:
+		for i := p.idx; i < len(p.verts); i++ {
+			pts = append(pts, p.sp.Nearest(p.verts[i].x))
+		}
+	case proReflect, proExpand:
+		for i := p.idx; i < len(p.candidate); i++ {
+			if i == p.bestIdx {
+				continue
+			}
+			pts = append(pts, p.sp.Nearest(p.candidate[i].x))
+		}
+	case proShrink:
+		for i := p.idx; i < len(p.verts); i++ {
+			if i == p.bestIdx {
+				continue
+			}
+			pts = append(pts, p.sp.Nearest(p.verts[i].x))
+		}
+	case proDone:
+		return nil
+	}
+	return pts
+}
+
+// ReportBatch implements BatchStrategy by replaying the values, in
+// order, through the sequential state machine. The proposals of a
+// phase are fixed when the phase starts, so the replay visits exactly
+// the points NextBatch returned; reporting a strict prefix leaves the
+// phase partially evaluated and NextBatch resumes it.
+func (p *PRO) ReportBatch(pts []space.Point, values []float64) {
+	for i := range pts {
+		if p.pending == nil {
+			p.pending = pts[i].Clone()
+		}
+		p.Report(pts[i], values[i])
+	}
 }
 
 // Report implements Strategy.

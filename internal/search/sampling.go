@@ -17,6 +17,10 @@ type Random struct {
 	max     int
 	count   int
 	pending space.Point
+	// BatchStride bounds the round size under the batch engine;
+	// 0 selects DefaultBatchStride. Successive samples are always
+	// independent, so any stride yields the same sample stream.
+	BatchStride int
 }
 
 // NewRandom constructs a random strategy that proposes maxSamples
@@ -48,6 +52,38 @@ func (r *Random) Report(pt space.Point, value float64) {
 	r.count++
 }
 
+// NextBatch implements BatchStrategy: up to BatchStride fresh draws
+// from the same deterministic sample stream Next consumes.
+func (r *Random) NextBatch() []space.Point {
+	if r.pending != nil {
+		return []space.Point{r.pending.Clone()}
+	}
+	n := strideOr(r.BatchStride)
+	if r.max > 0 {
+		if rem := r.max - r.count; rem < n {
+			n = rem
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]space.Point, n)
+	for i := range pts {
+		pts[i] = r.sp.Random(r.rng)
+	}
+	return pts
+}
+
+// ReportBatch implements BatchStrategy.
+func (r *Random) ReportBatch(pts []space.Point, values []float64) {
+	for i := range pts {
+		if r.pending == nil {
+			r.pending = pts[i].Clone()
+		}
+		r.Report(pts[i], values[i])
+	}
+}
+
 // Systematic enumerates an evenly spaced grid over the space — the
 // paper's "systematic sampling" used to map the whole GS2
 // configuration space for Fig. 6. The budget bounds the number of
@@ -57,6 +93,10 @@ type Systematic struct {
 	points  []space.Point
 	idx     int
 	pending bool
+	// BatchStride bounds the round size under the batch engine;
+	// 0 selects DefaultBatchStride. Grid points are independent, so
+	// the visit order and Values are identical for any stride.
+	BatchStride int
 	// Values records the objective at every visited grid point in
 	// visit order; Fig. 6 histograms this distribution.
 	Values []float64
@@ -94,12 +134,29 @@ func (s *Systematic) Report(pt space.Point, value float64) {
 	s.idx++
 }
 
+// NextBatch implements BatchStrategy: the next BatchStride unvisited
+// grid points.
+func (s *Systematic) NextBatch() []space.Point {
+	return sliceBatch(s.points, s.idx, strideOr(s.BatchStride))
+}
+
+// ReportBatch implements BatchStrategy.
+func (s *Systematic) ReportBatch(pts []space.Point, values []float64) {
+	for i := range pts {
+		s.pending = true
+		s.Report(pts[i], values[i])
+	}
+}
+
 // Exhaustive enumerates every feasible point of a (small) space.
 type Exhaustive struct {
 	tracker
 	points  []space.Point
 	idx     int
 	pending bool
+	// BatchStride bounds the round size under the batch engine;
+	// 0 selects DefaultBatchStride.
+	BatchStride int
 }
 
 // NewExhaustive constructs an exhaustive strategy. The space must be
@@ -137,4 +194,35 @@ func (e *Exhaustive) Report(pt space.Point, value float64) {
 	e.observe(pt, value)
 	e.pending = false
 	e.idx++
+}
+
+// NextBatch implements BatchStrategy: the next BatchStride
+// unevaluated points of the enumeration.
+func (e *Exhaustive) NextBatch() []space.Point {
+	return sliceBatch(e.points, e.idx, strideOr(e.BatchStride))
+}
+
+// ReportBatch implements BatchStrategy.
+func (e *Exhaustive) ReportBatch(pts []space.Point, values []float64) {
+	for i := range pts {
+		e.pending = true
+		e.Report(pts[i], values[i])
+	}
+}
+
+// sliceBatch clones the next stride points of a precomputed visit
+// order starting at idx.
+func sliceBatch(points []space.Point, idx, stride int) []space.Point {
+	if idx >= len(points) {
+		return nil
+	}
+	end := idx + stride
+	if end > len(points) {
+		end = len(points)
+	}
+	out := make([]space.Point, 0, end-idx)
+	for _, pt := range points[idx:end] {
+		out = append(out, pt.Clone())
+	}
+	return out
 }

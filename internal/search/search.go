@@ -32,6 +32,15 @@ import (
 // Next returns ok=false when the strategy has converged or exhausted
 // its space. Calling Next again without an intervening Report returns
 // the same pending proposal.
+//
+// Strategies are engine-locked: no strategy in this package is safe
+// for concurrent use, and none carries its own locking. The engines
+// that drive them — core.Tune, core.TuneParallel, and the on-line
+// server sessions — serialise every Next/Report/NextBatch/
+// ReportBatch/Best call under a single mutex, so even when objective
+// evaluations run on many workers the strategy state machine only
+// ever advances from one goroutine at a time. Callers embedding a
+// strategy elsewhere must uphold the same discipline.
 type Strategy interface {
 	// Name identifies the strategy in reports and logs.
 	Name() string

@@ -8,6 +8,13 @@
 // advances the search only when all expected reports for that
 // configuration have arrived, aggregating them by taking the worst
 // (a parallel application moves at the speed of its slowest rank).
+//
+// A session registered with Parallel instead fans the independent
+// proposals of one search round — the whole PRO trial population, a
+// stride of a sampler's stream — out to concurrent clients: each
+// fetch receives its own tagged configuration and the search advances
+// when the whole round is reported, which is how the paper's PRO
+// algorithm exploits many tuning clients at once.
 package server
 
 import (
@@ -53,6 +60,41 @@ type session struct {
 	converged bool
 	runs      int
 	maxRuns   int
+
+	// Parallel fan-out state. When parallel is set the session pulls
+	// whole rounds from batch (the strategy's BatchStrategy view) and
+	// hands distinct proposals of the round to concurrent clients,
+	// keyed by tag; the search advances when every proposal of the
+	// round has all its reports. All strategy calls stay under mu —
+	// strategies are engine-locked and carry no locking of their own.
+	parallel bool
+	batch    search.BatchStrategy
+	round    *fanoutRound
+	nextTag  int
+}
+
+// fanoutRound tracks one in-flight batch of a parallel session.
+type fanoutRound struct {
+	pts      []space.Point
+	assigned []int       // times each proposal has been handed out
+	count    []int       // reports received per proposal
+	worst    []float64   // worst report per proposal (slowest rank gates)
+	tags     map[int]int // outstanding tag -> proposal position
+	complete int         // proposals with all reports in
+}
+
+func newFanoutRound(pts []space.Point) *fanoutRound {
+	r := &fanoutRound{
+		pts:      pts,
+		assigned: make([]int, len(pts)),
+		count:    make([]int, len(pts)),
+		worst:    make([]float64, len(pts)),
+		tags:     make(map[int]int),
+	}
+	for i := range r.worst {
+		r.worst[i] = math.Inf(-1)
+	}
+	return r
 }
 
 // New constructs a server with no sessions.
@@ -197,13 +239,19 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 	if reporters <= 0 {
 		reporters = 1
 	}
+	ss := &session{
+		id: "", app: msg.App, space: sp, strategy: strat,
+		reporters: reporters, maxRuns: msg.MaxRuns,
+	}
+	if msg.Parallel {
+		ss.parallel = true
+		ss.batch = search.AsBatch(strat)
+	}
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = &session{
-		id: id, app: msg.App, space: sp, strategy: strat,
-		reporters: reporters, maxRuns: msg.MaxRuns,
-	}
+	ss.id = id
+	s.sessions[id] = ss
 	s.mu.Unlock()
 	s.Logf("harmony server: registered session %s app=%q strategy=%s dims=%d", id, msg.App, strat.Name(), sp.Dims())
 	return &proto.Message{Type: proto.TypeRegistered, Session: id}
@@ -266,6 +314,9 @@ func (s *Server) done(msg *proto.Message) *proto.Message {
 func (ss *session) fetch(*proto.Message) *proto.Message {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.parallel {
+		return ss.fetchParallelLocked()
+	}
 	if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
 		return ss.bestOrCurrentLocked()
 	}
@@ -302,9 +353,90 @@ func (ss *session) bestOrCurrentLocked() *proto.Message {
 	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Converged: true}
 }
 
+// fetchParallelLocked hands out one proposal of the current round.
+// Distinct clients receive distinct proposals until the round is
+// covered; further fetches re-issue the least-assigned unreported
+// proposal (a fetch is never refused — a client that lost its
+// assignment to a crash re-fetches and another takes over its point).
+func (ss *session) fetchParallelLocked() *proto.Message {
+	if ss.round == nil {
+		if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
+			return ss.bestOrCurrentLocked()
+		}
+		batch := ss.batch.NextBatch()
+		if len(batch) == 0 {
+			ss.converged = true
+			return ss.bestOrCurrentLocked()
+		}
+		if ss.maxRuns > 0 {
+			if rem := ss.maxRuns - ss.runs; len(batch) > rem {
+				batch = batch[:rem]
+			}
+		}
+		ss.runs += len(batch)
+		ss.round = newFanoutRound(batch)
+	}
+	r := ss.round
+	pos := -1
+	for i := range r.pts {
+		if r.count[i] >= ss.reporters {
+			continue
+		}
+		if pos == -1 || r.assigned[i] < r.assigned[pos] {
+			pos = i
+		}
+	}
+	if pos == -1 {
+		// Unreachable: a completed round is retired in report.
+		return errorReply("fetch: session %s round already complete", ss.id)
+	}
+	cfg, err := ss.space.Decode(r.pts[pos])
+	if err != nil {
+		return errorReply("fetch: %v", err)
+	}
+	r.assigned[pos]++
+	ss.nextTag++
+	r.tags[ss.nextTag] = pos
+	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Tag: ss.nextTag}
+}
+
+// reportParallelLocked matches a tagged report to its proposal.
+// Stale tags (a previous round) and surplus reports are acknowledged
+// and dropped: in a fan-out session a late straggler must not corrupt
+// the next round.
+func (ss *session) reportParallelLocked(msg *proto.Message) *proto.Message {
+	r := ss.round
+	if r == nil {
+		return &proto.Message{Type: proto.TypeOK}
+	}
+	pos, ok := r.tags[msg.Tag]
+	if !ok {
+		return &proto.Message{Type: proto.TypeOK}
+	}
+	delete(r.tags, msg.Tag)
+	if r.count[pos] >= ss.reporters {
+		return &proto.Message{Type: proto.TypeOK}
+	}
+	r.count[pos]++
+	if msg.Perf > r.worst[pos] {
+		r.worst[pos] = msg.Perf
+	}
+	if r.count[pos] == ss.reporters {
+		r.complete++
+	}
+	if r.complete == len(r.pts) {
+		ss.batch.ReportBatch(r.pts, r.worst)
+		ss.round = nil
+	}
+	return &proto.Message{Type: proto.TypeOK}
+}
+
 func (ss *session) report(msg *proto.Message) *proto.Message {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.parallel {
+		return ss.reportParallelLocked(msg)
+	}
 	if ss.pending == nil {
 		return errorReply("report: no configuration outstanding for session %s", ss.id)
 	}
