@@ -3,9 +3,19 @@
 // parameters, then alternate fetching configurations and reporting
 // measured performance while they run.
 //
+// The server tolerates misbehaving clients: -session-timeout leases
+// each session and garbage-collects the ones every client abandoned,
+// and -report-timeout bounds how long an outstanding configuration
+// waits for straggler reports before being re-issued (at most
+// -max-reissues times) and then forfeited. -stats-interval
+// periodically applies the deadlines and dumps the operational
+// counters; a final dump is written on shutdown.
+//
 // Usage:
 //
 //	harmonyd [-addr host:port] [-quiet]
+//	         [-session-timeout d] [-report-timeout d] [-max-reissues n]
+//	         [-stats-interval d]
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"harmony/internal/server"
 )
@@ -21,11 +32,30 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	sessionTimeout := flag.Duration("session-timeout", 0, "garbage-collect sessions idle longer than this (0 = never)")
+	reportTimeout := flag.Duration("report-timeout", 0, "re-issue configurations whose reports are overdue by this much (0 = wait forever)")
+	maxReissues := flag.Int("max-reissues", 0, "straggler re-issues before a configuration is forfeited (0 = default)")
+	statsInterval := flag.Duration("stats-interval", 0, "dump server counters (and apply deadlines) this often (0 = only on shutdown)")
 	flag.Parse()
 
 	s := server.New()
 	if *quiet {
 		s.Logf = func(string, ...any) {}
+	}
+	s.SessionTimeout = *sessionTimeout
+	s.ReportTimeout = *reportTimeout
+	s.MaxReissues = *maxReissues
+
+	if *statsInterval > 0 {
+		// Deadlines are otherwise applied lazily on client traffic;
+		// the ticker keeps abandoned sessions and stalled rounds
+		// progressing through quiet periods, then dumps the counters.
+		go func() {
+			for range time.Tick(*statsInterval) {
+				s.ExpireNow()
+				s.WriteStats(os.Stderr)
+			}
+		}()
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -33,6 +63,7 @@ func main() {
 	go func() {
 		<-sigc
 		log.Println("harmonyd: shutting down")
+		s.WriteStats(os.Stderr)
 		s.Close()
 	}()
 

@@ -32,15 +32,24 @@
 //
 // With -history, prior tuning results for the same app are used to
 // seed the search, and the outcome of this session is appended.
+//
+// -run-timeout bounds each benchmarking run: a configuration that
+// hangs the program (a pathological layout, a livelocked solver) is
+// killed at the deadline and counted as a failed run instead of
+// wedging the whole tuning session. -metrics appends a
+// machine-readable "htune.<name> <value>" summary to stdout for
+// scripts and dashboards.
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -56,10 +65,10 @@ import (
 
 // Spec is the htune input file.
 type Spec struct {
-	App      string            `json:"app"`
-	Machine  string            `json:"machine"`
-	Strategy string            `json:"strategy"`
-	MaxRuns  int               `json:"max_runs"`
+	App      string `json:"app"`
+	Machine  string `json:"machine"`
+	Strategy string `json:"strategy"`
+	MaxRuns  int    `json:"max_runs"`
 	// Workers is the number of benchmarking runs to keep in flight at
 	// once (distinct configurations launched concurrently). The
 	// command must tolerate concurrent invocations. 0 or 1 runs
@@ -71,21 +80,34 @@ type Spec struct {
 	Command []string          `json:"command"`
 }
 
+// cliOptions collects the command-line knobs passed down to run.
+type cliOptions struct {
+	historyPath string
+	workers     int
+	runTimeout  time.Duration
+	metrics     bool
+	verbose     bool
+}
+
 func main() {
-	historyPath := flag.String("history", "", "tuning-history file for seeding and recording")
-	workers := flag.Int("workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
-	verbose := flag.Bool("v", false, "log each run")
+	var opts cliOptions
+	flag.StringVar(&opts.historyPath, "history", "", "tuning-history file for seeding and recording")
+	flag.IntVar(&opts.workers, "workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
+	flag.DurationVar(&opts.runTimeout, "run-timeout", 0, "kill a benchmarking run exceeding this and count it failed (0 = no limit)")
+	flag.BoolVar(&opts.metrics, "metrics", false, "append a machine-readable htune.<name> <value> summary")
+	flag.BoolVar(&opts.verbose, "v", false, "log each run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-workers N] [-v] spec.json")
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-workers N] [-run-timeout d] [-metrics] [-v] spec.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *historyPath, *workers, *verbose); err != nil {
+	if err := run(flag.Arg(0), opts); err != nil {
 		log.Fatalf("htune: %v", err)
 	}
 }
 
-func run(specPath, historyPath string, workers int, verbose bool) error {
+func run(specPath string, cli cliOptions) error {
+	historyPath := cli.historyPath
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -122,16 +144,16 @@ func run(specPath, historyPath string, workers int, verbose bool) error {
 	if err != nil {
 		return err
 	}
-	if workers > 0 {
-		spec.Workers = workers
+	if cli.workers > 0 {
+		spec.Workers = cli.workers
 	}
 	opt := core.Options{MaxRuns: spec.MaxRuns, Workers: spec.Workers}
-	if verbose {
+	if cli.verbose {
 		opt.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	res, err := core.Tune(context.Background(), sp, strat, objective(spec), opt)
+	res, err := core.Tune(context.Background(), sp, strat, objective(spec, cli.runTimeout), opt)
 	if err != nil {
 		return err
 	}
@@ -157,7 +179,33 @@ func run(specPath, historyPath string, workers int, verbose bool) error {
 		}
 		fmt.Printf("htune: recorded result in %s\n", historyPath)
 	}
+	if cli.metrics {
+		writeMetrics(os.Stdout, spec, res)
+	}
 	return nil
+}
+
+// writeMetrics emits the tuning outcome as expvar-style lines, the
+// same "<prefix>.<name> <value>" shape harmonyd dumps for its server
+// counters, so one scraper handles both tools.
+func writeMetrics(w io.Writer, spec Spec, res *core.Result) {
+	fmt.Fprintf(w, "htune.app %s\n", spec.App)
+	fmt.Fprintf(w, "htune.runs %d\n", res.Runs)
+	fmt.Fprintf(w, "htune.failures %d\n", res.Failures)
+	fmt.Fprintf(w, "htune.best_value %g\n", res.BestValue)
+	fmt.Fprintf(w, "htune.first_value %g\n", res.FirstValue)
+	fmt.Fprintf(w, "htune.improvement %g\n", res.Improvement())
+	fmt.Fprintf(w, "htune.speedup %g\n", res.Speedup())
+	fmt.Fprintf(w, "htune.tuning_cost_s %g\n", res.TuningCost)
+	best := res.BestConfig.Map()
+	names := make([]string, 0, len(best))
+	for name := range best {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "htune.best.%s %s\n", name, best[name])
+	}
 }
 
 func buildStrategy(spec Spec, sp *space.Space, seeds []space.Point) (search.Strategy, error) {
@@ -184,14 +232,28 @@ func buildStrategy(spec Spec, sp *space.Space, seeds []space.Point) (search.Stra
 
 // objective launches one benchmarking run of the command with the
 // configuration substituted and returns its measured performance.
-func objective(spec Spec) core.Objective {
+// With runTimeout > 0 the run is killed at the deadline and reported
+// as a failure, so one hung configuration cannot wedge the session.
+func objective(spec Spec, runTimeout time.Duration) core.Objective {
 	return func(ctx context.Context, cfg space.Config) (float64, error) {
+		if runTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, runTimeout)
+			defer cancel()
+		}
 		values := cfg.Map()
 		args := make([]string, len(spec.Command)-1)
 		for i, tmpl := range spec.Command[1:] {
 			args[i] = substitute(tmpl, values)
 		}
 		cmd := exec.CommandContext(ctx, substitute(spec.Command[0], values), args...)
+		if runTimeout > 0 {
+			// Without this, a killed shell whose orphaned children still
+			// hold the stdout pipe keeps Output blocked long past the
+			// deadline; WaitDelay force-closes the pipes soon after the
+			// context expires.
+			cmd.WaitDelay = time.Second
+		}
 		cmd.Env = os.Environ()
 		for name, v := range values {
 			cmd.Env = append(cmd.Env, "HT_"+strings.ToUpper(name)+"="+v)

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"harmony/internal/core"
 	"harmony/internal/history"
 	"harmony/internal/proto"
 )
@@ -46,7 +49,7 @@ func TestHtuneEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	spec := writeSpec(t, dir, nil)
 	hist := filepath.Join(dir, "hist.json")
-	if err := run(spec, hist, 0, false); err != nil {
+	if err := run(spec, cliOptions{historyPath: hist}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// The history must record a near-optimal x.
@@ -74,7 +77,7 @@ func TestHtuneEnvSubstitution(t *testing.T) {
 		s.Command = []string{"/bin/sh", "-c", "echo $(( ($HT_X-42)*($HT_X-42) ))"}
 		s.MaxRuns = 20
 	})
-	if err := run(spec, "", 0, false); err != nil {
+	if err := run(spec, cliOptions{}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -91,7 +94,7 @@ func TestHtuneBadSpecs(t *testing.T) {
 			`{"strategy":"annealing","command":["true"],"params":[{"name":"x","kind":"int","min":0,"max":1,"step":1}]}`),
 	}
 	for name, path := range cases {
-		if err := run(path, "", 0, false); err == nil {
+		if err := run(path, cliOptions{}); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
@@ -114,7 +117,7 @@ func TestHtuneFailingCommand(t *testing.T) {
 	})
 	// All runs fail -> no usable evaluations, but the driver reports
 	// it gracefully rather than crashing.
-	if err := run(spec, "", 0, false); err != nil {
+	if err := run(spec, cliOptions{}); err != nil {
 		t.Logf("run returned %v (acceptable)", err)
 	}
 }
@@ -162,7 +165,68 @@ func TestHtuneParallelWorkers(t *testing.T) {
 		s.Strategy = "pro"
 		s.MaxRuns = 20
 	})
-	if err := run(spec, "", 3, false); err != nil {
+	if err := run(spec, cliOptions{workers: 3}); err != nil {
 		t.Fatalf("run with 3 workers: %v", err)
+	}
+}
+
+// TestHtuneRunTimeout: a configuration that hangs the program is
+// killed at the -run-timeout deadline and counted as a failure
+// instead of wedging the session.
+func TestHtuneRunTimeout(t *testing.T) {
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("no /bin/sh")
+	}
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, func(s *Spec) {
+		s.Command = []string{"/bin/sh", "-c", "sleep 30"}
+		s.MaxRuns = 2
+	})
+	start := time.Now()
+	err := run(spec, cliOptions{runTimeout: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run took %v; the per-run deadline did not kill the hung command", elapsed)
+	}
+	// Every run timed out, so the driver reports there is nothing to
+	// tune — that is the graceful outcome, not a hang.
+	if err == nil {
+		t.Error("expected an error when every run exceeds the deadline")
+	}
+}
+
+// TestWriteMetrics pins the machine-readable summary format.
+func TestWriteMetrics(t *testing.T) {
+	sp, err := proto.DecodeSpace([]proto.ParamSpec{
+		{Name: "x", Kind: "int", Min: 0, Max: 100, Step: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sp.Decode(sp.Center())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{
+		Runs: 7, Failures: 1,
+		BestValue: 2, FirstValue: 8, TuningCost: 12.5,
+		BestConfig: cfg,
+	}
+	var sb strings.Builder
+	writeMetrics(&sb, Spec{App: "shellapp"}, res)
+	out := sb.String()
+	for _, want := range []string{
+		"htune.app shellapp\n",
+		"htune.runs 7\n",
+		"htune.failures 1\n",
+		"htune.best_value 2\n",
+		"htune.first_value 8\n",
+		"htune.improvement 0.75\n",
+		"htune.speedup 4\n",
+		"htune.tuning_cost_s 12.5\n",
+		"htune.best.x 50\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -67,8 +67,13 @@ func runOnline(o options) error {
 	offTotal := offTuning + offProduction
 
 	// --- On-line: one production run against a live server. ---
+	// The server runs with the fault-tolerance knobs a production
+	// deployment would use: idle sessions are leased and overdue
+	// reports re-issued, so a crashed client cannot wedge tuning.
 	srv := server.New()
 	srv.Logf = func(string, ...any) {}
+	srv.SessionTimeout = time.Minute
+	srv.ReportTimeout = 30 * time.Second
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
 	defer func() {
@@ -100,6 +105,21 @@ func runOnline(o options) error {
 	if err != nil {
 		return err
 	}
+	// A rogue straggler: a second client of the same session fetches
+	// the first configuration, goes silent while tuning moves on, and
+	// finally reports an absurdly good time for the configuration it
+	// held. Generation matching must drop that report instead of
+	// crediting it to whatever is pending by then.
+	rogueC, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer rogueC.Close()
+	rogue := rogueC.Attach(sess.ID())
+	if _, _, err := rogue.Fetch(); err != nil {
+		return err
+	}
+
 	onTotal := initTime // one initialisation
 	steps := 0
 	intervals := 0
@@ -124,11 +144,19 @@ func runOnline(o options) error {
 		if err := sess.Report(cost); err != nil {
 			return err
 		}
+		if intervals == 2 {
+			// The search has moved past the rogue's configuration:
+			// its straggling report is now stale and must be dropped.
+			if err := rogue.Report(1e-9); err != nil {
+				return err
+			}
+		}
 	}
 	onBest, _, err := sess.Best()
 	if err != nil {
 		return err
 	}
+	stats := srv.Stats()
 
 	fmt.Printf("tunable: GS2 data layout (%d candidates), default %s\n", len(layouts), gs2.DefaultLayout)
 	fmt.Printf("production run: %d steps; tuning interval: %d steps\n\n", prodSteps, benchSteps)
@@ -141,6 +169,12 @@ func runOnline(o options) error {
 	fmt.Printf("  total: %.1f s (no separate tuning runs, one initialisation)\n\n", onTotal)
 	untuned := initTime + float64(prodSteps)*stepTime[gs2.DefaultLayout]
 	fmt.Printf("untuned production run with the %s default: %.1f s\n", gs2.DefaultLayout, untuned)
-	fmt.Printf("on-line vs off-line total: %.1f s vs %.1f s\n", onTotal, offTotal)
+	fmt.Printf("on-line vs off-line total: %.1f s vs %.1f s\n\n", onTotal, offTotal)
+	fmt.Printf("fault tolerance: a rogue client reported 1e-9 s for a retired configuration\n")
+	fmt.Printf("  server counters: %d fetches, %d reports accepted, %d stale reports dropped\n",
+		stats.Fetches, stats.ReportsAccepted, stats.ReportsDroppedStale)
+	if stats.ReportsDroppedStale == 0 {
+		return fmt.Errorf("online: the rogue straggler's report was not dropped")
+	}
 	return nil
 }

@@ -194,10 +194,18 @@ func Sensitivity(sp *Space, trials []Trial) []ParamSensitivity {
 
 // On-line tuning.
 type (
-	// Server is the Harmony tuning server.
+	// Server is the Harmony tuning server. Its SessionTimeout,
+	// ReportTimeout and MaxReissues fields configure the fault model:
+	// leases on idle sessions and straggler deadlines on outstanding
+	// reports.
 	Server = server.Server
+	// ServerStats is a snapshot of a Server's operational counters.
+	ServerStats = server.Stats
 	// Client is an application-side connection to the server.
 	Client = client.Client
+	// ClientOptions tune the client's fault handling: per-round-trip
+	// I/O deadlines and reconnect-with-backoff.
+	ClientOptions = client.Options
 	// Session is a registered on-line tuning session.
 	Session = client.Session
 	// Registration describes a session to create.
@@ -208,8 +216,15 @@ type (
 // or Serve.
 func NewServer() *Server { return server.New() }
 
-// Dial connects to a Harmony server at addr.
+// Dial connects to a Harmony server at addr with no deadlines and no
+// reconnection.
 func Dial(addr string) (*Client, error) { return client.Dial(addr) }
+
+// DialOptions connects to a Harmony server at addr with the given
+// fault-handling options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	return client.DialOptions(addr, opts)
+}
 
 // Prior-run history.
 type (

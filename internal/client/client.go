@@ -13,34 +13,96 @@
 //		sess.Report(elapsed)
 //	}
 //	best, _, _ := sess.Best()
+//
+// Production deployments dial with Options to bound each protocol
+// round trip with an I/O deadline and to reconnect with exponential
+// backoff when the connection drops. Re-fetching after a reconnect is
+// idempotent: the server either repeats the outstanding configuration
+// or re-issues a fresh proposal, and the configuration generation
+// (and parallel-proposal tag) it stamps on every fetch makes a report
+// that raced a reconnect droppable server-side instead of being
+// credited to the wrong measurement.
 package client
 
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"harmony/internal/proto"
 	"harmony/internal/space"
 )
 
+// Options tune the client's fault handling. The zero value keeps the
+// original fail-fast behaviour: no deadlines, no reconnection.
+type Options struct {
+	// Timeout bounds each protocol round trip (send plus reply) with
+	// an I/O deadline on the connection. 0 means no deadline.
+	Timeout time.Duration
+	// Retries is how many times a failed round trip is retried, each
+	// attempt preceded by a reconnect. 0 disables reconnection.
+	Retries int
+	// Backoff is the delay before the first reconnect attempt,
+	// doubling on every consecutive failure. 0 selects 50ms when
+	// Retries > 0.
+	Backoff time.Duration
+}
+
+const defaultBackoff = 50 * time.Millisecond
+
 // Client is a connection to a Harmony tuning server. It is not safe
 // for concurrent use; open one Client per goroutine.
 type Client struct {
 	conn *proto.Conn
+	addr string // empty when wrapped around an existing conn (no redial)
+	opts Options
 }
 
-// Dial connects to a Harmony server at addr (host:port).
+// Dial connects to a Harmony server at addr (host:port) with no
+// deadlines and no reconnection.
 func Dial(addr string) (*Client, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a Harmony server at addr with the given
+// fault-handling options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.Backoff <= 0 {
+		opts.Backoff = defaultBackoff
 	}
-	return &Client{conn: proto.NewConn(c)}, nil
+	c := &Client{addr: addr, opts: opts}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	d := net.Dialer{Timeout: c.opts.Timeout}
+	nc, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = proto.NewConn(nc)
+	return nil
 }
 
 // NewFromConn wraps an existing connection; used by tests with
-// net.Pipe.
+// net.Pipe. A wrapped client cannot reconnect (it has no address)
+// but still honours Options deadlines set via SetOptions.
 func NewFromConn(conn *proto.Conn) *Client { return &Client{conn: conn} }
+
+// SetOptions replaces the fault-handling options; useful with
+// NewFromConn where DialOptions is not involved.
+func (c *Client) SetOptions(opts Options) {
+	if opts.Backoff <= 0 {
+		opts.Backoff = defaultBackoff
+	}
+	c.opts = opts
+}
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -78,6 +140,7 @@ type Session struct {
 	c   *Client
 	id  string
 	tag int // tag of the last fetched configuration (parallel mode)
+	gen int // generation of the last fetched configuration (shared mode)
 }
 
 // Register creates a tuning session on the server.
@@ -115,11 +178,37 @@ func (c *Client) Attach(sessionID string) *Session {
 // ID returns the server-assigned session identifier.
 func (s *Session) ID() string { return s.id }
 
+// roundTrip sends msg and waits for the reply, applying the
+// configured I/O deadline. A transport failure (timeout, dropped
+// connection) is retried up to Options.Retries times, reconnecting
+// with exponential backoff before each retry and re-sending the same
+// message. A server error reply is not a transport failure and is
+// never retried.
+//
+// Retried messages are safe for register (a duplicated session is
+// garbage-collected by the server's lease) and idempotent for fetch,
+// best, and done. A retried report whose first copy did arrive is
+// de-duplicated server-side through the generation/tag it echoes
+// whenever a single reporter feeds the configuration; with several
+// reporters per configuration an undetectable duplicate can stand in
+// for another reporter's measurement (the aggregate is their worst
+// value, so the bias is bounded by the reports of the same
+// configuration).
 func (c *Client) roundTrip(msg *proto.Message) (*proto.Message, error) {
-	if err := c.conn.Send(msg); err != nil {
-		return nil, err
+	reply, err := c.try(msg)
+	backoff := c.opts.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
 	}
-	reply, err := c.conn.Recv()
+	for attempt := 0; err != nil && attempt < c.opts.Retries && c.addr != ""; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		if rerr := c.connect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		reply, err = c.try(msg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -129,10 +218,24 @@ func (c *Client) roundTrip(msg *proto.Message) (*proto.Message, error) {
 	return reply, nil
 }
 
+// try performs one send/receive exchange under the I/O deadline.
+func (c *Client) try(msg *proto.Message) (*proto.Message, error) {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.conn.Send(msg); err != nil {
+		return nil, err
+	}
+	return c.conn.Recv()
+}
+
 // Fetch asks the server which configuration to use next. It returns
 // the parameter values, and converged=true once the search has
 // settled (after which the returned values are the tuned best and no
-// Report is expected).
+// Report is expected). Fetch is idempotent: after a reconnect it can
+// simply be called again, and the generation/tag of the reply
+// supersedes whatever was outstanding.
 func (s *Session) Fetch() (values map[string]string, converged bool, err error) {
 	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeFetch, Session: s.id})
 	if err != nil {
@@ -142,13 +245,20 @@ func (s *Session) Fetch() (values map[string]string, converged bool, err error) 
 		return nil, false, fmt.Errorf("client: unexpected fetch reply %q", reply.Type)
 	}
 	s.tag = reply.Tag
+	s.gen = reply.Gen
 	return reply.Values, reply.Converged, nil
 }
 
 // Report delivers the performance measured under the configuration
-// from the preceding Fetch. Lower is better.
+// from the preceding Fetch. Lower is better. The report echoes that
+// configuration's generation and tag, so a report that arrives after
+// the server retired the configuration (straggler timeout, a faster
+// twin client) is dropped server-side instead of corrupting the next
+// measurement.
 func (s *Session) Report(perf float64) error {
-	reply, err := s.c.roundTrip(&proto.Message{Type: proto.TypeReport, Session: s.id, Perf: perf, Tag: s.tag})
+	reply, err := s.c.roundTrip(&proto.Message{
+		Type: proto.TypeReport, Session: s.id, Perf: perf, Tag: s.tag, Gen: s.gen,
+	})
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"harmony/internal/space"
 )
@@ -90,6 +91,16 @@ type Message struct {
 	// server assigns it on fetch; clients echo it on report.
 	Tag int `json:"tag,omitempty"`
 
+	// config / report: Gen is the configuration generation of a
+	// shared-config (non-parallel) session. The server increments it
+	// every time a new configuration becomes pending and stamps it on
+	// each config reply; clients echo it on report so a straggler
+	// reporting after its configuration was retired is acknowledged
+	// and dropped instead of being credited to the next pending point.
+	// Reports with Gen 0 (pre-generation clients) are accepted for
+	// whatever is currently pending.
+	Gen int `json:"gen,omitempty"`
+
 	// config / best_reply
 	Values    map[string]string `json:"values,omitempty"`
 	Converged bool              `json:"converged,omitempty"`
@@ -152,12 +163,27 @@ func DecodeSpace(specs []ParamSpec) (*space.Space, error) {
 type Conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
-	c io.Closer
+	c io.ReadWriteCloser
 }
 
 // NewConn frames messages over rw.
 func NewConn(rw io.ReadWriteCloser) *Conn {
 	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), c: rw}
+}
+
+// deadliner is the subset of net.Conn needed for I/O deadlines.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// SetDeadline sets the read/write deadline of the underlying
+// transport when it supports deadlines (net.Conn and net.Pipe do) and
+// is a no-op otherwise, so callers can apply timeouts uniformly.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if d, ok := c.c.(deadliner); ok {
+		return d.SetDeadline(t)
+	}
+	return nil
 }
 
 // Send writes one message.

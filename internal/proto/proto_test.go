@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"harmony/internal/space"
 )
@@ -75,6 +76,41 @@ func TestConnRecvEOF(t *testing.T) {
 	go a.Close()
 	if _, err := b.Recv(); err != io.EOF {
 		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestConnTagGenRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		a.Send(&Message{Type: TypeReport, Session: "s1", Tag: 7, Gen: 3, Perf: 1.5})
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Tag != 7 || m.Gen != 3 {
+		t.Errorf("tag/gen = %d/%d, want 7/3", m.Tag, m.Gen)
+	}
+}
+
+func TestConnSetDeadline(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	// net.Pipe supports deadlines: an expired deadline fails Recv
+	// promptly instead of blocking forever.
+	if err := b.SetDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatalf("SetDeadline: %v", err)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Error("expected timeout error from Recv under expired deadline")
+	}
+	// Streams without deadline support are a no-op, not an error.
+	c := NewConn(rwcloser{strings.NewReader(""), io.Discard})
+	if err := c.SetDeadline(time.Now()); err != nil {
+		t.Errorf("SetDeadline on plain stream: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -147,6 +148,63 @@ func TestParallelFanoutStaleReportsDropped(t *testing.T) {
 	// The bogus -1e9 reports must not have reached the strategy.
 	if _, v, ok := ss.strategy.Best(); !ok || v != 5 {
 		t.Fatalf("strategy best = %v (ok=%v), want the genuine report 5", v, ok)
+	}
+}
+
+// TestParallelFanoutPRONearBudget pins the truncation behaviour at
+// the maxRuns boundary: when the remaining budget is smaller than
+// PRO's next trial population, the round is truncated to the budget,
+// the truncated prefix is reported back (legal per the BatchStrategy
+// contract), and the session converges with runs == maxRuns exactly —
+// no error replies, no overspend, and Best reflecting every genuine
+// measurement.
+func TestParallelFanoutPRONearBudget(t *testing.T) {
+	sp := testSpace() // dims=2, so PRO's population is 4
+	strat := search.NewPRO(sp, search.PROOptions{Seed: 5})
+	ss := &session{
+		id: "s1", space: sp, strategy: strat,
+		reporters: 1, parallel: true,
+		// Init round costs 4; the reflected round of 3 must be
+		// truncated to the remaining budget of 2.
+		maxRuns: 6,
+	}
+	ss.batch = search.AsBatch(strat)
+
+	reported := 0
+	bestSeen := math.Inf(1)
+	var converged *proto.Message
+	for i := 0; i < 50; i++ {
+		reply := ss.fetch(nil)
+		if reply.Type != proto.TypeConfig {
+			t.Fatalf("fetch %d: reply %+v, want config (no errors near the budget)", i, reply)
+		}
+		if reply.Converged {
+			converged = reply
+			break
+		}
+		v := objective(reply.Values)
+		if v < bestSeen {
+			bestSeen = v
+		}
+		reported++
+		if r := ss.report(&proto.Message{Tag: reply.Tag, Perf: v}); r.Type != proto.TypeOK {
+			t.Fatalf("report %d: %+v", i, r)
+		}
+	}
+	if converged == nil {
+		t.Fatal("session never converged")
+	}
+	if ss.runs != 6 {
+		t.Fatalf("runs = %d, want exactly maxRuns (6): truncation must neither overspend nor undercount", ss.runs)
+	}
+	if reported != 6 {
+		t.Fatalf("%d proposals evaluated, want 6", reported)
+	}
+	if _, v, ok := strat.Best(); !ok || v != bestSeen {
+		t.Fatalf("strategy best = %v (ok=%v), want the best genuine measurement %v", v, ok, bestSeen)
+	}
+	if got := objective(converged.Values); got != bestSeen {
+		t.Fatalf("converged config scores %v, want the best seen %v", got, bestSeen)
 	}
 }
 

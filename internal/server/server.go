@@ -15,6 +15,27 @@
 // fetch receives its own tagged configuration and the search advances
 // when the whole round is reported, which is how the paper's PRO
 // algorithm exploits many tuning clients at once.
+//
+// # Fault model
+//
+// The server assumes clients can crash, hang, or report late at any
+// point, and degrades the search rather than wedging it:
+//
+//   - Every shared configuration carries a generation (proto.Gen) and
+//     every parallel proposal a tag; a report for a retired
+//     generation or tag is acknowledged and dropped, never credited
+//     to the wrong measurement.
+//   - Sessions are leased: when SessionTimeout is set, a session
+//     nobody has touched within the timeout is garbage-collected.
+//   - Outstanding work has a straggler deadline: when ReportTimeout
+//     is set, an overdue proposal is re-issued to the next fetch (up
+//     to MaxReissues times) and then forfeited with a +Inf penalty so
+//     the round always completes.
+//
+// Deadlines are evaluated lazily against the injected Clock whenever
+// a message for the session arrives (or eagerly via ExpireNow), so
+// the server needs no background goroutines and tests can drive time
+// deterministically.
 package server
 
 import (
@@ -25,19 +46,55 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"harmony/internal/proto"
 	"harmony/internal/search"
 	"harmony/internal/space"
 )
 
+// defaultMaxReissues is how many times an overdue proposal is
+// re-issued before it is forfeited with a penalty value.
+const defaultMaxReissues = 3
+
+// penaltyValue is reported to the strategy for a proposal that was
+// forfeited without receiving any measurement. +Inf never displaces
+// the incumbent best and ranks the point worse than every genuine
+// evaluation, so the search advances without being biased toward the
+// unmeasured configuration.
+var penaltyValue = math.Inf(1)
+
 // Server is a Harmony tuning server. Create with New, start with
-// Serve or ListenAndServe.
+// Serve or ListenAndServe. The exported configuration fields must be
+// set before the server starts serving.
 type Server struct {
 	// Logf receives diagnostic output; defaults to log.Printf. Set to
 	// a no-op to silence.
 	Logf func(format string, args ...any)
 
+	// Clock supplies the wall clock used for leases and straggler
+	// deadlines; defaults to time.Now. Tests inject a fake clock.
+	Clock func() time.Time
+
+	// SessionTimeout is the lease on an idle session: a session no
+	// client has fetched, reported, or queried within this window is
+	// garbage-collected. 0 disables expiry.
+	SessionTimeout time.Duration
+
+	// ReportTimeout bounds how long the server waits for outstanding
+	// reports before treating their clients as stragglers: an overdue
+	// shared configuration or parallel proposal is re-issued, and
+	// forfeited with a penalty after MaxReissues expiries. Set it
+	// above the longest expected evaluation; a slow-but-alive client
+	// keeps its configuration (and generation) across re-issues, so
+	// its report still lands. 0 disables the deadline.
+	ReportTimeout time.Duration
+
+	// MaxReissues is how many straggler expiries a proposal survives
+	// before it is forfeited. <= 0 selects the default (3).
+	MaxReissues int
+
+	stats    counters
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
@@ -54,12 +111,24 @@ type session struct {
 	space    *space.Space
 	strategy search.Strategy
 
-	pending   space.Point // configuration currently being measured
-	reports   []float64   // reports received for pending
-	reporters int         // reports needed before advancing
-	converged bool
-	runs      int
-	maxRuns   int
+	// Fault-tolerance plumbing, copied from the server at register
+	// time. clock nil means time.Now; stats nil (sessions built
+	// directly in tests) is allocated lazily by stat().
+	clock         func() time.Time
+	reportTimeout time.Duration
+	maxReissues   int
+	stats         *counters
+	lastActive    time.Time // lease bookkeeping, guarded by mu
+
+	pending         space.Point // configuration currently being measured
+	gen             int         // generation of pending; stamped on config replies
+	pendingSince    time.Time   // when pending was first handed out
+	pendingExpiries int         // straggler deadlines missed by pending
+	reports         []float64   // reports received for pending
+	reporters       int         // reports needed before advancing
+	converged       bool
+	runs            int
+	maxRuns         int
 
 	// Parallel fan-out state. When parallel is set the session pulls
 	// whole rounds from batch (the strategy's BatchStrategy view) and
@@ -73,14 +142,21 @@ type session struct {
 	nextTag  int
 }
 
+// tagIssue records one handed-out proposal of a parallel round.
+type tagIssue struct {
+	pos    int       // proposal position within the round
+	issued time.Time // when it was handed out (straggler deadline base)
+}
+
 // fanoutRound tracks one in-flight batch of a parallel session.
 type fanoutRound struct {
 	pts      []space.Point
-	assigned []int       // times each proposal has been handed out
-	count    []int       // reports received per proposal
-	worst    []float64   // worst report per proposal (slowest rank gates)
-	tags     map[int]int // outstanding tag -> proposal position
-	complete int         // proposals with all reports in
+	assigned []int             // times each proposal has been handed out
+	count    []int             // reports received per proposal
+	worst    []float64         // worst report per proposal (slowest rank gates)
+	expiries []int             // straggler deadlines missed per proposal
+	tags     map[int]*tagIssue // outstanding tag -> issue record
+	complete int               // proposals with all reports in
 }
 
 func newFanoutRound(pts []space.Point) *fanoutRound {
@@ -89,7 +165,8 @@ func newFanoutRound(pts []space.Point) *fanoutRound {
 		assigned: make([]int, len(pts)),
 		count:    make([]int, len(pts)),
 		worst:    make([]float64, len(pts)),
-		tags:     make(map[int]int),
+		expiries: make([]int, len(pts)),
+		tags:     make(map[int]*tagIssue),
 	}
 	for i := range r.worst {
 		r.worst[i] = math.Inf(-1)
@@ -101,9 +178,17 @@ func newFanoutRound(pts []space.Point) *fanoutRound {
 func New() *Server {
 	return &Server{
 		Logf:     log.Printf,
+		Clock:    time.Now,
 		sessions: make(map[string]*session),
 		conns:    make(map[net.Conn]struct{}),
 	}
+}
+
+func (s *Server) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
 }
 
 // ListenAndServe listens on addr (for example "127.0.0.1:0") and
@@ -208,6 +293,7 @@ func errorReply(format string, args ...any) *proto.Message {
 }
 
 func (s *Server) dispatch(msg *proto.Message) *proto.Message {
+	s.sweepExpired()
 	switch msg.Type {
 	case proto.TypeRegister:
 		return s.register(msg)
@@ -226,6 +312,53 @@ func (s *Server) dispatch(msg *proto.Message) *proto.Message {
 	}
 }
 
+// sweepExpired garbage-collects sessions whose lease lapsed. It runs
+// on every dispatch (cheap at realistic session counts) and from
+// ExpireNow, and returns how many sessions were collected.
+func (s *Server) sweepExpired() int {
+	if s.SessionTimeout <= 0 {
+		return 0
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, ss := range s.sessions {
+		ss.mu.Lock()
+		idle := now.Sub(ss.lastActive)
+		ss.mu.Unlock()
+		if idle > s.SessionTimeout {
+			delete(s.sessions, id)
+			s.stats.sessionsExpired.Add(1)
+			n++
+			s.Logf("harmony server: session %s lease expired after %v idle", id, idle)
+		}
+	}
+	return n
+}
+
+// ExpireNow applies lease and straggler deadlines immediately and
+// returns the number of sessions garbage-collected. Deadlines are
+// otherwise applied lazily when a message for the session arrives;
+// operators with long quiet periods (harmonyd's stats ticker) and
+// tests call this to make abandoned sessions and rounds progress
+// without client traffic.
+func (s *Server) ExpireNow() int {
+	n := s.sweepExpired()
+	s.mu.Lock()
+	live := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		live = append(live, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range live {
+		ss.mu.Lock()
+		ss.expireStragglersLocked(ss.now())
+		ss.mu.Unlock()
+	}
+	return n
+}
+
 func (s *Server) register(msg *proto.Message) *proto.Message {
 	sp, err := proto.DecodeSpace(msg.Space)
 	if err != nil {
@@ -242,6 +375,11 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 	ss := &session{
 		id: "", app: msg.App, space: sp, strategy: strat,
 		reporters: reporters, maxRuns: msg.MaxRuns,
+		clock:         s.now,
+		reportTimeout: s.ReportTimeout,
+		maxReissues:   s.MaxReissues,
+		stats:         &s.stats,
+		lastActive:    s.now(),
 	}
 	if msg.Parallel {
 		ss.parallel = true
@@ -308,14 +446,130 @@ func (s *Server) done(msg *proto.Message) *proto.Message {
 	return &proto.Message{Type: proto.TypeOK}
 }
 
+func (ss *session) now() time.Time {
+	if ss.clock != nil {
+		return ss.clock()
+	}
+	return time.Now()
+}
+
+// stat returns the session's counter block, allocating a private one
+// for sessions constructed directly (tests) without a server.
+func (ss *session) stat() *counters {
+	if ss.stats == nil {
+		ss.stats = new(counters)
+	}
+	return ss.stats
+}
+
+func (ss *session) reissueLimit() int {
+	if ss.maxReissues > 0 {
+		return ss.maxReissues
+	}
+	return defaultMaxReissues
+}
+
+// expireStragglersLocked applies the straggler deadline to whatever
+// the session is waiting on. Shared-config sessions: an overdue
+// pending configuration with partial reports is finalised with the
+// survivors' aggregate; with no reports it is re-issued (same point,
+// same generation, fresh deadline) and, past the re-issue limit,
+// forfeited with a penalty. Parallel sessions delegate per-proposal
+// handling to expireRoundLocked.
+func (ss *session) expireStragglersLocked(now time.Time) {
+	if ss.reportTimeout <= 0 {
+		return
+	}
+	if ss.parallel {
+		ss.expireRoundLocked(now)
+		return
+	}
+	if ss.pending == nil || now.Sub(ss.pendingSince) < ss.reportTimeout {
+		return
+	}
+	if len(ss.reports) > 0 {
+		// Some reporters made it, the rest are overdue: the slowest
+		// surviving rank's measurement stands in for the crashed ones
+		// so the search advances instead of waiting forever.
+		ss.finishPendingLocked()
+		ss.stat().proposalsForfeited.Add(1)
+		return
+	}
+	ss.pendingExpiries++
+	if ss.pendingExpiries <= ss.reissueLimit() {
+		ss.pendingSince = now
+		ss.stat().proposalsReissued.Add(1)
+		return
+	}
+	ss.strategy.Report(ss.pending, penaltyValue)
+	ss.pending = nil
+	ss.reports = ss.reports[:0]
+	ss.stat().proposalsForfeited.Add(1)
+}
+
+// expireRoundLocked retires overdue tags of the in-flight parallel
+// round. An expired proposal's assignment count is decremented so the
+// least-assigned logic in fetchParallelLocked re-issues it naturally;
+// past the re-issue limit the proposal is forfeited — completed with
+// the reports it has, or the penalty value if it has none — so the
+// round always finishes.
+func (ss *session) expireRoundLocked(now time.Time) {
+	r := ss.round
+	if r == nil {
+		return
+	}
+	for tag, iss := range r.tags {
+		if now.Sub(iss.issued) < ss.reportTimeout {
+			continue
+		}
+		delete(r.tags, tag)
+		pos := iss.pos
+		if r.count[pos] >= ss.reporters {
+			continue // proposal already complete; nothing to redo
+		}
+		if r.assigned[pos] > 0 {
+			r.assigned[pos]--
+		}
+		r.expiries[pos]++
+		if r.expiries[pos] <= ss.reissueLimit() {
+			ss.stat().proposalsReissued.Add(1)
+			continue
+		}
+		if r.worst[pos] == math.Inf(-1) {
+			r.worst[pos] = penaltyValue
+		}
+		r.count[pos] = ss.reporters
+		r.complete++
+		ss.stat().proposalsForfeited.Add(1)
+	}
+	ss.maybeRetireRoundLocked()
+}
+
+// maybeRetireRoundLocked delivers a fully reported round to the
+// strategy and clears it.
+func (ss *session) maybeRetireRoundLocked() {
+	r := ss.round
+	if r == nil || r.complete < len(r.pts) {
+		return
+	}
+	ss.batch.ReportBatch(r.pts, r.worst)
+	ss.round = nil
+	ss.stat().roundsCompleted.Add(1)
+}
+
 // fetch returns the configuration the application should use next.
 // All clients of the session receive the same configuration until
-// enough reports arrive.
+// enough reports arrive; the reply's Gen identifies the configuration
+// generation so late reports can be matched.
 func (ss *session) fetch(*proto.Message) *proto.Message {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	now := ss.now()
+	ss.lastActive = now
+	ss.stat().fetches.Add(1)
+	ss.expireStragglersLocked(now)
 	if ss.parallel {
-		return ss.fetchParallelLocked()
+		return ss.fetchParallelLocked(now)
 	}
 	if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
 		return ss.bestOrCurrentLocked()
@@ -326,15 +580,27 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 			ss.converged = true
 			return ss.bestOrCurrentLocked()
 		}
+		cfg, err := ss.space.Decode(pt)
+		if err != nil {
+			// The proposal was never handed out: charge no run, so a
+			// decode failure cannot inflate run accounting or trip
+			// maxRuns early. The strategy keeps the point pending and
+			// the next fetch surfaces the same error.
+			return errorReply("fetch: %v", err)
+		}
 		ss.pending = pt
 		ss.reports = ss.reports[:0]
 		ss.runs++
+		ss.gen++
+		ss.pendingSince = now
+		ss.pendingExpiries = 0
+		return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Gen: ss.gen}
 	}
 	cfg, err := ss.space.Decode(ss.pending)
 	if err != nil {
 		return errorReply("fetch: %v", err)
 	}
-	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map()}
+	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Gen: ss.gen}
 }
 
 // bestOrCurrentLocked replies with the best-known configuration and
@@ -358,7 +624,7 @@ func (ss *session) bestOrCurrentLocked() *proto.Message {
 // covered; further fetches re-issue the least-assigned unreported
 // proposal (a fetch is never refused — a client that lost its
 // assignment to a crash re-fetches and another takes over its point).
-func (ss *session) fetchParallelLocked() *proto.Message {
+func (ss *session) fetchParallelLocked(now time.Time) *proto.Message {
 	if ss.round == nil {
 		if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
 			return ss.bestOrCurrentLocked()
@@ -370,6 +636,13 @@ func (ss *session) fetchParallelLocked() *proto.Message {
 		}
 		if ss.maxRuns > 0 {
 			if rem := ss.maxRuns - ss.runs; len(batch) > rem {
+				// Truncating at the budget boundary makes this the
+				// final round: after it completes, runs == maxRuns and
+				// every further fetch converges. Reporting the
+				// truncated slice is legal — BatchStrategy documents
+				// that a strict prefix of the last NextBatch may be
+				// reported, leaving the remainder unevaluated (PRO
+				// resumes the phase; the tail simply never runs).
 				batch = batch[:rem]
 			}
 		}
@@ -387,7 +660,8 @@ func (ss *session) fetchParallelLocked() *proto.Message {
 		}
 	}
 	if pos == -1 {
-		// Unreachable: a completed round is retired in report.
+		// Unreachable: a completed round is retired in report and in
+		// expireRoundLocked before reaching here.
 		return errorReply("fetch: session %s round already complete", ss.id)
 	}
 	cfg, err := ss.space.Decode(r.pts[pos])
@@ -396,55 +670,74 @@ func (ss *session) fetchParallelLocked() *proto.Message {
 	}
 	r.assigned[pos]++
 	ss.nextTag++
-	r.tags[ss.nextTag] = pos
+	r.tags[ss.nextTag] = &tagIssue{pos: pos, issued: now}
 	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Tag: ss.nextTag}
 }
 
 // reportParallelLocked matches a tagged report to its proposal.
-// Stale tags (a previous round) and surplus reports are acknowledged
-// and dropped: in a fan-out session a late straggler must not corrupt
-// the next round.
+// Stale tags (a previous round, an expired issue) and surplus reports
+// are acknowledged and dropped: in a fan-out session a late straggler
+// must not corrupt the next round.
 func (ss *session) reportParallelLocked(msg *proto.Message) *proto.Message {
 	r := ss.round
 	if r == nil {
+		ss.stat().reportsDroppedStale.Add(1)
 		return &proto.Message{Type: proto.TypeOK}
 	}
-	pos, ok := r.tags[msg.Tag]
+	iss, ok := r.tags[msg.Tag]
 	if !ok {
+		ss.stat().reportsDroppedStale.Add(1)
 		return &proto.Message{Type: proto.TypeOK}
 	}
 	delete(r.tags, msg.Tag)
+	pos := iss.pos
 	if r.count[pos] >= ss.reporters {
+		ss.stat().reportsDroppedStale.Add(1)
 		return &proto.Message{Type: proto.TypeOK}
 	}
 	r.count[pos]++
+	ss.stat().reportsAccepted.Add(1)
 	if msg.Perf > r.worst[pos] {
 		r.worst[pos] = msg.Perf
 	}
 	if r.count[pos] == ss.reporters {
 		r.complete++
 	}
-	if r.complete == len(r.pts) {
-		ss.batch.ReportBatch(r.pts, r.worst)
-		ss.round = nil
-	}
+	ss.maybeRetireRoundLocked()
 	return &proto.Message{Type: proto.TypeOK}
 }
 
 func (ss *session) report(msg *proto.Message) *proto.Message {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	now := ss.now()
+	ss.lastActive = now
+	ss.expireStragglersLocked(now)
 	if ss.parallel {
 		return ss.reportParallelLocked(msg)
+	}
+	if msg.Gen != 0 && (ss.pending == nil || msg.Gen != ss.gen) {
+		// A straggler (or duplicate) reporting a configuration that
+		// was already retired: acknowledge and drop, so the value is
+		// not credited to the new pending point.
+		ss.stat().reportsDroppedStale.Add(1)
+		return &proto.Message{Type: proto.TypeOK}
 	}
 	if ss.pending == nil {
 		return errorReply("report: no configuration outstanding for session %s", ss.id)
 	}
 	ss.reports = append(ss.reports, msg.Perf)
+	ss.stat().reportsAccepted.Add(1)
 	if len(ss.reports) < ss.reporters {
 		return &proto.Message{Type: proto.TypeOK}
 	}
-	// The slowest reporter gates the parallel application.
+	ss.finishPendingLocked()
+	return &proto.Message{Type: proto.TypeOK}
+}
+
+// finishPendingLocked aggregates the received reports (the slowest
+// reporter gates the parallel application) and advances the search.
+func (ss *session) finishPendingLocked() {
 	worst := math.Inf(-1)
 	for _, v := range ss.reports {
 		if v > worst {
@@ -454,12 +747,12 @@ func (ss *session) report(msg *proto.Message) *proto.Message {
 	ss.strategy.Report(ss.pending, worst)
 	ss.pending = nil
 	ss.reports = ss.reports[:0]
-	return &proto.Message{Type: proto.TypeOK}
 }
 
 func (ss *session) best(*proto.Message) *proto.Message {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	ss.lastActive = ss.now()
 	pt, value, ok := ss.strategy.Best()
 	if !ok {
 		return errorReply("best: session %s has no evaluations yet", ss.id)

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of the server's operational
+// counters. All counters except SessionsActive are cumulative since
+// the server was created.
+type Stats struct {
+	// SessionsActive is the number of currently registered sessions.
+	SessionsActive int64
+	// SessionsExpired counts sessions garbage-collected because no
+	// client touched them within Server.SessionTimeout.
+	SessionsExpired int64
+	// Fetches counts configuration replies handed to clients.
+	Fetches int64
+	// ReportsAccepted counts reports credited to a live configuration
+	// or proposal.
+	ReportsAccepted int64
+	// ReportsDroppedStale counts reports acknowledged but discarded
+	// because their generation or tag was already retired (stragglers
+	// and duplicates).
+	ReportsDroppedStale int64
+	// RoundsCompleted counts parallel fan-out rounds delivered to the
+	// search strategy.
+	RoundsCompleted int64
+	// ProposalsReissued counts proposals whose straggler deadline
+	// lapsed and that were made available to the next fetch again.
+	ProposalsReissued int64
+	// ProposalsForfeited counts proposals abandoned after too many
+	// straggler expiries; a forfeited proposal with no reports at all
+	// is delivered to the strategy as a +Inf penalty so the round
+	// still completes.
+	ProposalsForfeited int64
+}
+
+// counters is the live atomic backing of Stats. Sessions hold a
+// pointer to their server's counters and update them lock-free, which
+// keeps the session mutexes independent of the server mutex.
+type counters struct {
+	sessionsExpired     atomic.Int64
+	fetches             atomic.Int64
+	reportsAccepted     atomic.Int64
+	reportsDroppedStale atomic.Int64
+	roundsCompleted     atomic.Int64
+	proposalsReissued   atomic.Int64
+	proposalsForfeited  atomic.Int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.sessions))
+	s.mu.Unlock()
+	return Stats{
+		SessionsActive:      active,
+		SessionsExpired:     s.stats.sessionsExpired.Load(),
+		Fetches:             s.stats.fetches.Load(),
+		ReportsAccepted:     s.stats.reportsAccepted.Load(),
+		ReportsDroppedStale: s.stats.reportsDroppedStale.Load(),
+		RoundsCompleted:     s.stats.roundsCompleted.Load(),
+		ProposalsReissued:   s.stats.proposalsReissued.Load(),
+		ProposalsForfeited:  s.stats.proposalsForfeited.Load(),
+	}
+}
+
+// WriteStats writes the counters as an expvar-style text dump, one
+// "harmony.<metric> <value>" line per counter, suitable for scraping
+// or for periodic operational logging (harmonyd -stats-interval).
+func (s *Server) WriteStats(w io.Writer) error {
+	st := s.Stats()
+	rows := []struct {
+		name  string
+		value int64
+	}{
+		{"sessions.active", st.SessionsActive},
+		{"sessions.expired", st.SessionsExpired},
+		{"fetches", st.Fetches},
+		{"reports.accepted", st.ReportsAccepted},
+		{"reports.dropped_stale", st.ReportsDroppedStale},
+		{"rounds.completed", st.RoundsCompleted},
+		{"proposals.reissued", st.ProposalsReissued},
+		{"proposals.forfeited", st.ProposalsForfeited},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "harmony.%s %d\n", r.name, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
