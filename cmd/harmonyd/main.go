@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	harmonyd [-addr host:port] [-quiet]
+//	harmonyd [-addr host:port] [-quiet] [-cache file]
 //	         [-session-timeout d] [-report-timeout d] [-max-reissues n]
 //	         [-stats-interval d]
 package main
@@ -26,12 +26,14 @@ import (
 	"os/signal"
 	"time"
 
+	"harmony/internal/history"
 	"harmony/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
+	cachePath := flag.String("cache", "", "persistent evaluation cache file (JSON); answers repeated configurations without re-running clients")
 	sessionTimeout := flag.Duration("session-timeout", 0, "garbage-collect sessions idle longer than this (0 = never)")
 	reportTimeout := flag.Duration("report-timeout", 0, "re-issue configurations whose reports are overdue by this much (0 = wait forever)")
 	maxReissues := flag.Int("max-reissues", 0, "straggler re-issues before a configuration is forfeited (0 = default)")
@@ -46,6 +48,17 @@ func main() {
 	s.ReportTimeout = *reportTimeout
 	s.MaxReissues = *maxReissues
 
+	var evalCache *history.EvalCache
+	if *cachePath != "" {
+		var err error
+		evalCache, err = history.OpenEvalCache(*cachePath)
+		if err != nil {
+			log.Fatalf("harmonyd: %v", err)
+		}
+		s.Cache = evalCache
+		fmt.Printf("harmonyd: evaluation cache %s (%d entries)\n", *cachePath, evalCache.Len())
+	}
+
 	if *statsInterval > 0 {
 		// Deadlines are otherwise applied lazily on client traffic;
 		// the ticker keeps abandoned sessions and stalled rounds
@@ -54,6 +67,11 @@ func main() {
 			for range time.Tick(*statsInterval) {
 				s.ExpireNow()
 				s.WriteStats(os.Stderr)
+				if evalCache != nil {
+					if err := evalCache.Save(); err != nil {
+						log.Printf("harmonyd: %v", err)
+					}
+				}
 			}
 		}()
 	}
@@ -64,6 +82,11 @@ func main() {
 		<-sigc
 		log.Println("harmonyd: shutting down")
 		s.WriteStats(os.Stderr)
+		if evalCache != nil {
+			if err := evalCache.Save(); err != nil {
+				log.Printf("harmonyd: %v", err)
+			}
+		}
 		s.Close()
 	}()
 

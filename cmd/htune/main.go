@@ -49,6 +49,8 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,6 +85,7 @@ type Spec struct {
 // cliOptions collects the command-line knobs passed down to run.
 type cliOptions struct {
 	historyPath string
+	cachePath   string
 	workers     int
 	runTimeout  time.Duration
 	metrics     bool
@@ -91,19 +94,68 @@ type cliOptions struct {
 
 func main() {
 	var opts cliOptions
+	var cpuprofile, memprofile string
 	flag.StringVar(&opts.historyPath, "history", "", "tuning-history file for seeding and recording")
+	flag.StringVar(&opts.cachePath, "cache", "", "persistent evaluation-cache file: repeated configurations are answered from prior sessions instead of re-run")
 	flag.IntVar(&opts.workers, "workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
 	flag.DurationVar(&opts.runTimeout, "run-timeout", 0, "kill a benchmarking run exceeding this and count it failed (0 = no limit)")
 	flag.BoolVar(&opts.metrics, "metrics", false, "append a machine-readable htune.<name> <value> summary")
 	flag.BoolVar(&opts.verbose, "v", false, "log each run")
+	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile of the tuning session to this file")
+	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile taken at session end to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-workers N] [-run-timeout d] [-metrics] [-v] spec.json")
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-workers N] [-run-timeout d] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), opts); err != nil {
+	stopProfiles, err := startProfiles(cpuprofile, memprofile)
+	if err != nil {
 		log.Fatalf("htune: %v", err)
 	}
+	runErr := run(flag.Arg(0), opts)
+	if err := stopProfiles(); err != nil {
+		log.Printf("htune: %v", err)
+	}
+	if runErr != nil {
+		log.Fatalf("htune: %v", runErr)
+	}
+}
+
+// startProfiles starts CPU profiling and arranges a heap snapshot,
+// returning a function that finalises both.
+func startProfiles(cpuprofile, memprofile string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(specPath string, cli cliOptions) error {
@@ -148,6 +200,17 @@ func run(specPath string, cli cliOptions) error {
 		spec.Workers = cli.workers
 	}
 	opt := core.Options{MaxRuns: spec.MaxRuns, Workers: spec.Workers}
+	var evalCache *history.EvalCache
+	if cli.cachePath != "" {
+		evalCache, err = history.OpenEvalCache(cli.cachePath)
+		if err != nil {
+			return err
+		}
+		if n := evalCache.Len(); n > 0 {
+			fmt.Printf("htune: evaluation cache holds %d prior measurements\n", n)
+		}
+		opt.Cache = evalCache.Bound(spec.App, spec.Machine, sp)
+	}
 	if cli.verbose {
 		opt.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -168,6 +231,12 @@ func run(specPath string, cli cliOptions) error {
 	fmt.Printf("  total tuning cost: %.1f s of application time\n", res.TuningCost)
 	if res.SpeculativeRuns > 0 {
 		fmt.Printf("  speculative runs: %d launched ahead of need, %d used\n", res.SpeculativeRuns, res.SpeculativeHits)
+	}
+	if evalCache != nil {
+		fmt.Printf("  evaluation cache: %d hits, %d misses (%d entries)\n", res.CacheHits, res.CacheMisses, evalCache.Len())
+		if err := evalCache.Save(); err != nil {
+			return err
+		}
 	}
 
 	if store != nil {
@@ -197,6 +266,8 @@ func writeMetrics(w io.Writer, spec Spec, res *core.Result) {
 	fmt.Fprintf(w, "htune.improvement %g\n", res.Improvement())
 	fmt.Fprintf(w, "htune.speedup %g\n", res.Speedup())
 	fmt.Fprintf(w, "htune.tuning_cost_s %g\n", res.TuningCost)
+	fmt.Fprintf(w, "htune.cache.hits %d\n", res.CacheHits)
+	fmt.Fprintf(w, "htune.cache.misses %d\n", res.CacheMisses)
 	best := res.BestConfig.Map()
 	names := make([]string, 0, len(best))
 	for name := range best {

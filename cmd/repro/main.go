@@ -15,6 +15,8 @@
 //	-large      also run the large-problem variants of fig2/fig3
 //	-seed N     random seed for seeded strategies
 //	-workers N  worker pool size for the parallel experiment
+//	-cpuprofile f  write a CPU profile of the run to f
+//	-memprofile f  write a final heap profile to f
 //
 // Absolute simulated seconds are not expected to match the paper's
 // testbeds; the shapes (who wins, by what factor, where the optimum
@@ -25,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -65,26 +69,78 @@ func main() {
 	flag.BoolVar(&o.large, "large", false, "also run large-problem variants")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for randomised strategies")
 	flag.IntVar(&o.workers, "workers", 4, "worker pool size for the parallel experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a final heap profile to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	name := flag.Arg(0)
-	if name == "all" {
-		for _, n := range experimentOrder {
-			if err := runOne(n, o); err != nil {
-				fmt.Fprintf(os.Stderr, "repro %s: %v\n", n, err)
-				os.Exit(1)
-			}
-		}
-		return
-	}
-	if err := runOne(name, o); err != nil {
-		fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}
+	name := flag.Arg(0)
+	runErr := func() error {
+		if name == "all" {
+			for _, n := range experimentOrder {
+				if err := runOne(n, o); err != nil {
+					return fmt.Errorf("%s: %w", n, err)
+				}
+			}
+			return nil
+		}
+		if err := runOne(name, o); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}()
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "repro %v\n", runErr)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts CPU profiling and arranges a heap snapshot,
+// returning a function that finalises both.
+func startProfiles(cpuprofile, memprofile string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func runOne(name string, o options) error {
@@ -102,7 +158,7 @@ func runOne(name string, o options) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: repro [-quick] [-large] [-seed N] <experiment>\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: repro [-quick] [-large] [-seed N] [-cpuprofile f] [-memprofile f] <experiment>\n\nexperiments:\n")
 	names := make([]string, 0, len(experiments))
 	for n := range experiments {
 		names = append(names, n)

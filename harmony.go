@@ -232,10 +232,29 @@ type (
 	HistoryStore = history.Store
 	// HistoryRecord is one stored tuning outcome.
 	HistoryRecord = history.Record
+	// EvalCache is a content-addressed store of objective
+	// evaluations shared across sessions; bind it to an evaluation
+	// identity with Bound and plug the result into Options.Cache or
+	// Server.Cache.
+	EvalCache = history.EvalCache
+	// BoundCache is an EvalCache scoped to one (application,
+	// machine, space) identity; it implements PointCache.
+	BoundCache = history.BoundCache
+	// PointCache answers objective evaluations from a cache
+	// (Options.Cache). Hits are charged to the session's accounts
+	// exactly as if the application had run.
+	PointCache = core.PointCache
 )
 
 // OpenHistory opens (or creates) a history store at path.
 func OpenHistory(path string) (*HistoryStore, error) { return history.Open(path) }
+
+// NewEvalCache returns an empty in-memory evaluation cache.
+func NewEvalCache() *EvalCache { return history.NewEvalCache() }
+
+// OpenEvalCache loads (or starts) a persistent evaluation cache at
+// path; Save writes it back.
+func OpenEvalCache(path string) (*EvalCache, error) { return history.OpenEvalCache(path) }
 
 // Library Specification Layer.
 type (

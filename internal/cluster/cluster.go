@@ -9,7 +9,11 @@
 // nodes. Preset constructors approximate each.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"strings"
+)
 
 // Link describes one class of communication path.
 type Link struct {
@@ -99,6 +103,23 @@ func (m *Machine) Validate() error {
 // String renders the machine as "name nodesxppn".
 func (m *Machine) String() string {
 	return fmt.Sprintf("%s %dx%d", m.Name, m.Nodes, m.PPN)
+}
+
+// Fingerprint renders every field of the cost model into a canonical
+// string: two machines with equal fingerprints produce bit-identical
+// simulations for the same rank program. It content-addresses machine
+// models for the evaluation cache (a changed model must invalidate
+// cached timings) and keys the simulator's reusable world pool.
+func (m *Machine) Fingerprint() string {
+	link := func(l Link) string {
+		return fmt.Sprintf("%x/%x/%x", math.Float64bits(l.Latency), math.Float64bits(l.Bandwidth), math.Float64bits(l.Overhead))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d;p%d;intra%s;inter%s;bis%x;g", m.Nodes, m.PPN, link(m.Intra), link(m.Inter), math.Float64bits(m.BisectionBandwidth))
+	for _, g := range m.Gflops {
+		fmt.Fprintf(&b, ",%x", math.Float64bits(g))
+	}
+	return b.String()
 }
 
 func uniformSpeeds(nodes int, gflops float64) []float64 {

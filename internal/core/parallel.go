@@ -28,6 +28,14 @@ type cacheEntry struct {
 	err   error
 }
 
+// lookupCache consults the cross-session cache, if configured.
+func lookupCache(opt Options, pt space.Point) (float64, bool) {
+	if opt.Cache == nil {
+		return 0, false
+	}
+	return opt.Cache.Lookup(pt)
+}
+
 // evalJob is one objective evaluation scheduled on the worker pool.
 // pos is the batch position for round proposals and -1 for
 // speculative prefetches.
@@ -49,13 +57,15 @@ type evalJob struct {
 // duplicate (follower of an earlier leader), speculative hit, or
 // fresh evaluation (job != nil).
 type roundItem struct {
-	pt      space.Point
-	key     string
-	cfg     space.Config
-	job     *evalJob
-	leader  int // batch position of the in-round leader, -1 if none
-	memoHit bool
-	specHit bool
+	pt       space.Point
+	key      string
+	cfg      space.Config
+	job      *evalJob
+	leader   int // batch position of the in-round leader, -1 if none
+	memoHit  bool
+	specHit  bool
+	cacheHit bool // answered by Options.Cache; charged like a fresh run
+	cacheVal float64
 }
 
 // TuneParallel drives the strategy against the objective with up to
@@ -146,6 +156,8 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 				leaderAt[key] = len(items)
 				if _, ok := specReady[key]; ok {
 					it.specHit = true
+				} else if cv, ok := lookupCache(opt, pt); ok {
+					it.cacheHit, it.cacheVal = true, cv
 				} else {
 					jctx, jcancel := context.WithCancel(ctx)
 					it.job = &evalJob{pos: len(items), key: key, cfg: cfg, ctx: jctx, cancel: jcancel}
@@ -177,6 +189,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 				}
 				if _, ok := specReady[key]; ok {
 					continue
+				}
+				if _, ok := lookupCache(opt, pt); ok {
+					continue // the cache will answer it when proposed
 				}
 				cfg, err := sp.Decode(pt)
 				if err != nil {
@@ -272,6 +287,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 					delete(specReady, it.key)
 					v, verr = e.value, e.err
 					res.SpeculativeHits++
+				} else if it.cacheHit {
+					v = it.cacheVal
+					res.CacheHits++
 				} else {
 					j := it.job
 					if j.err != nil && ctx.Err() != nil {
@@ -299,6 +317,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 			} else {
 				res.Runs++
 				trial.Run = res.Runs
+				if opt.Cache != nil && !it.cacheHit {
+					res.CacheMisses++
+				}
 				if verr != nil {
 					res.Failures++
 					v = math.Inf(1)
@@ -307,6 +328,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 					res.TuningCost += opt.RunOverhead
 				} else {
 					res.TuningCost += v + opt.RunOverhead
+					if opt.Cache != nil && !it.cacheHit {
+						opt.Cache.Store(it.pt, v)
+					}
 				}
 				trial.Value = v
 				memo[it.key] = cacheEntry{value: v, err: trial.Err}

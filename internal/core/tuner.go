@@ -51,6 +51,16 @@ type Options struct {
 	// too: a configuration that crashes still paid its launch and
 	// teardown.
 	RunOverhead float64
+	// Cache, if non-nil, answers objective evaluations from prior
+	// sessions before the objective is invoked. A hit is charged to
+	// Runs and TuningCost exactly as if the application had run — the
+	// paper's cost model counts the run whether or not this process
+	// re-measured it — so Runs, Best, and the trial log are identical
+	// for every cache state and worker count; only wall-clock time and
+	// the CacheHits/CacheMisses counters change. Failed evaluations
+	// are never cached: a configuration that crashed is re-attempted
+	// by every session that proposes it.
+	Cache PointCache
 	// Workers is the number of objective evaluations the engine may
 	// have in flight at once. 0 or 1 select the sequential engine;
 	// larger values route the session through TuneParallel, which
@@ -62,6 +72,19 @@ type Options struct {
 	Workers int
 	// Logf, if non-nil, receives one line per evaluation.
 	Logf func(format string, args ...any)
+}
+
+// PointCache is a cross-session evaluation cache consulted by the
+// tuning engines. Implementations must be safe for concurrent use
+// (the parallel engine looks points up from its coordinating
+// goroutine but servers may share one cache across sessions) and must
+// only answer for the exact (application, machine, space) identity
+// they were bound to — see history.EvalCache.
+type PointCache interface {
+	// Lookup returns the cached objective value for the point.
+	Lookup(pt space.Point) (float64, bool)
+	// Store records a successful evaluation of the point.
+	Store(pt space.Point, value float64)
 }
 
 // Trial records one strategy proposal and its outcome.
@@ -105,6 +128,13 @@ type Result struct {
 	// so accounting matches the sequential engine; the wall-clock win
 	// is that the result was already in hand.
 	SpeculativeHits int
+	// CacheHits counts runs answered by Options.Cache; CacheMisses
+	// counts runs that consulted it and invoked the objective. Both
+	// are diagnostics only: cache hits are charged to Runs and
+	// TuningCost like real runs, so no other Result field depends on
+	// the cache state.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Improvement returns the fractional improvement of the best value
@@ -172,7 +202,20 @@ func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objec
 			}
 			res.Runs++
 			trial.Run = res.Runs
-			v, err := obj(ctx, cfg)
+			var v float64
+			var err error
+			hit := false
+			if opt.Cache != nil {
+				if cv, ok := opt.Cache.Lookup(pt); ok {
+					v, hit = cv, true
+					res.CacheHits++
+				} else {
+					res.CacheMisses++
+				}
+			}
+			if !hit {
+				v, err = obj(ctx, cfg)
+			}
 			if err != nil {
 				if ctx.Err() != nil {
 					return res, ctx.Err()
@@ -184,6 +227,9 @@ func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objec
 				res.TuningCost += opt.RunOverhead
 			} else {
 				res.TuningCost += v + opt.RunOverhead
+				if opt.Cache != nil && !hit {
+					opt.Cache.Store(pt, v)
+				}
 			}
 			value = v
 			trial.Value = v

@@ -1,0 +1,123 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"harmony/internal/space"
+)
+
+func cacheSpace() *space.Space {
+	return space.MustNew(
+		space.IntParam("x", 0, 10, 1),
+		space.IntParam("y", 0, 10, 1),
+	)
+}
+
+func TestEvalCacheRoundTrip(t *testing.T) {
+	c := NewEvalCache()
+	b := c.Bound("app", "m1", cacheSpace())
+	pt := space.Point{3, 4}
+	if _, ok := b.Lookup(pt); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	b.Store(pt, 42.5)
+	v, ok := b.Lookup(pt)
+	if !ok || v != 42.5 {
+		t.Fatalf("Lookup = (%v, %v), want (42.5, true)", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	hits, misses := c.Counters()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Counters = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+// TestEvalCacheIdentityIsolation checks that entries never leak
+// across evaluation identities: a value stored for one (app, machine,
+// space) triple must miss for any neighbour that differs in exactly
+// one component, even though the encoded point is identical.
+func TestEvalCacheIdentityIsolation(t *testing.T) {
+	c := NewEvalCache()
+	sp := cacheSpace()
+	pt := space.Point{5, 5}
+	c.Bound("sles", "machineA", sp).Store(pt, 1.0)
+
+	if _, ok := c.Bound("pop", "machineA", sp).Lookup(pt); ok {
+		t.Error("different application shared a cache entry")
+	}
+	if _, ok := c.Bound("sles", "machineB", sp).Lookup(pt); ok {
+		t.Error("different machine fingerprint shared a cache entry (stale timing survives model change)")
+	}
+	// Same coordinate tuple, different lattice: {5,5} decodes to a
+	// different configuration in a coarser space.
+	coarse := space.MustNew(
+		space.IntParam("x", 0, 20, 2),
+		space.IntParam("y", 0, 20, 2),
+	)
+	if _, ok := c.Bound("sles", "machineA", coarse).Lookup(pt); ok {
+		t.Error("different space shape shared a cache entry")
+	}
+	// Enum value sets participate in the fingerprint too.
+	e1 := space.MustNew(space.EnumParam("layout", "xyles", "yxles"))
+	e2 := space.MustNew(space.EnumParam("layout", "xyles", "lexys"))
+	c.Bound("gs2", "m", e1).Store(space.Point{1}, 2.0)
+	if _, ok := c.Bound("gs2", "m", e2).Lookup(space.Point{1}); ok {
+		t.Error("different enum values shared a cache entry")
+	}
+	// The matching identity still hits.
+	if v, ok := c.Bound("sles", "machineA", sp).Lookup(pt); !ok || v != 1.0 {
+		t.Errorf("original identity Lookup = (%v, %v), want (1, true)", v, ok)
+	}
+}
+
+func TestEvalCachePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "cache.json")
+	c, err := OpenEvalCache(path)
+	if err != nil {
+		t.Fatalf("OpenEvalCache(missing): %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("missing file opened with %d entries", c.Len())
+	}
+	sp := cacheSpace()
+	b := c.Bound("app", "m", sp)
+	b.Store(space.Point{1, 2}, 3.25)
+	b.Store(space.Point{4, 5}, 6.5)
+	if err := c.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	c2, err := OpenEvalCache(path)
+	if err != nil {
+		t.Fatalf("OpenEvalCache(reload): %v", err)
+	}
+	if c2.Len() != 2 {
+		t.Errorf("reloaded Len = %d, want 2", c2.Len())
+	}
+	v, ok := c2.Bound("app", "m", sp).Lookup(space.Point{1, 2})
+	if !ok || v != 3.25 {
+		t.Errorf("reloaded Lookup = (%v, %v), want (3.25, true)", v, ok)
+	}
+}
+
+func TestOpenEvalCacheCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEvalCache(path); err == nil {
+		t.Error("corrupt cache file opened without error")
+	}
+}
+
+func TestEvalCacheInMemorySaveIsNoop(t *testing.T) {
+	c := NewEvalCache()
+	c.Bound("a", "m", cacheSpace()).Store(space.Point{0, 0}, 1)
+	if err := c.Save(); err != nil {
+		t.Errorf("in-memory Save: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ package pop
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"harmony/internal/cluster"
 	"harmony/internal/core"
@@ -235,6 +236,38 @@ func (cfg Config) landAt(x, y int) bool {
 	return v >= 0.94 // polar cap
 }
 
+// layoutKey identifies a decomposition: everything Layout reads from
+// the Config plus the rank count. Namelist and step counts do not
+// influence the block structure.
+type layoutKey struct {
+	nx, ny, bx, by int
+	land           bool
+	p              int
+}
+
+// layoutCache memoises frozen layouts across evaluations: a block-size
+// campaign revisits decompositions constantly (simplex contractions,
+// repeated probes), and a layout is immutable once built.
+var layoutCache sync.Map // layoutKey -> *layout
+
+// cachedLayout returns the layout for cfg on p ranks, building and
+// caching it on first use. Errors are not cached: invalid geometries
+// are cheap to rediagnose.
+func (cfg Config) cachedLayout(p int) (*layout, error) {
+	key := layoutKey{cfg.NX, cfg.NY, cfg.BX, cfg.BY, cfg.Land, p}
+	if v, ok := layoutCache.Load(key); ok {
+		return v.(*layout), nil
+	}
+	ly, err := cfg.Layout(p)
+	if err != nil {
+		return nil, err
+	}
+	if v, loaded := layoutCache.LoadOrStore(key, ly); loaded {
+		return v.(*layout), nil // keep the first: identical builds
+	}
+	return ly, nil
+}
+
 // Blocks returns the global block count of the decomposition grid
 // (before land elimination).
 func (ly *layout) Blocks() int { return ly.nbx * ly.nby }
@@ -291,7 +324,7 @@ func Run(m *cluster.Machine, cfg Config) (float64, error) {
 // RunStats is Run exposing the full simulation statistics.
 func RunStats(m *cluster.Machine, cfg Config) (simmpi.Stats, error) {
 	p := m.Procs()
-	ly, err := cfg.Layout(p)
+	ly, err := cfg.cachedLayout(p)
 	if err != nil {
 		return simmpi.Stats{}, err
 	}

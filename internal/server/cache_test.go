@@ -1,0 +1,138 @@
+package server
+
+import (
+	"testing"
+
+	"harmony/internal/client"
+	"harmony/internal/history"
+	"harmony/internal/proto"
+)
+
+// driveSession runs one on-line tuning session to convergence or the
+// fetch budget, measuring with the shared bowl objective, and returns
+// the best point/perf plus how many configurations the client
+// actually measured.
+func driveSession(t *testing.T, addr string, reg client.Registration) (best map[string]string, perf float64, measured int) {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	sess, err := c.Register(reg)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for i := 0; i < 600; i++ {
+		values, converged, err := sess.Fetch()
+		if err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+		if converged {
+			break
+		}
+		measured++
+		if err := sess.Report(objective(values)); err != nil {
+			t.Fatalf("Report: %v", err)
+		}
+	}
+	best, perf, err = sess.Best()
+	if err != nil {
+		t.Fatalf("Best: %v", err)
+	}
+	if err := sess.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	return best, perf, measured
+}
+
+// TestServerCacheAnswersRepeatedSession: with Server.Cache set, a
+// session replayed against a warm cache reaches the identical best
+// without the client measuring anything — the sequential fetch loop
+// reports cached values straight to the strategy.
+func TestServerCacheAnswersRepeatedSession(t *testing.T) {
+	s, addr := startServer(t)
+	s.Cache = history.NewEvalCache()
+
+	reg := client.Registration{App: "bowl", Machine: "m1", Space: testSpace(), MaxRuns: 40}
+	best1, perf1, measured1 := driveSession(t, addr, reg)
+	if measured1 == 0 {
+		t.Fatal("first session measured nothing")
+	}
+
+	best2, perf2, measured2 := driveSession(t, addr, reg)
+	if measured2 != 0 {
+		t.Errorf("warm-cache session measured %d configurations, want 0", measured2)
+	}
+	if perf2 != perf1 {
+		t.Errorf("warm-cache best perf = %v, want %v", perf2, perf1)
+	}
+	for k, v := range best1 {
+		if best2[k] != v {
+			t.Errorf("warm-cache best[%q] = %q, want %q", k, best2[k], v)
+		}
+	}
+
+	st := s.Stats()
+	if st.CacheHits == 0 {
+		t.Error("Stats().CacheHits = 0 after warm-cache session")
+	}
+	if st.CacheMisses == 0 {
+		t.Error("Stats().CacheMisses = 0 after cold-cache session")
+	}
+}
+
+// TestServerCacheIdentityScoped: sessions that differ in application
+// or machine name must not share cached measurements.
+func TestServerCacheIdentityScoped(t *testing.T) {
+	s, addr := startServer(t)
+	s.Cache = history.NewEvalCache()
+
+	reg := client.Registration{App: "bowl", Machine: "m1", Space: testSpace(), MaxRuns: 25}
+	driveSession(t, addr, reg)
+
+	other := reg
+	other.Machine = "m2"
+	_, _, measured := driveSession(t, addr, other)
+	if measured == 0 {
+		t.Error("different machine was answered entirely from cache")
+	}
+
+	app := reg
+	app.App = "other-app"
+	_, _, measured = driveSession(t, addr, app)
+	if measured == 0 {
+		t.Error("different application was answered entirely from cache")
+	}
+}
+
+// TestServerCacheParallelRoundPrefill: in parallel fan-out mode,
+// cached proposals are pre-filled at round construction so only the
+// misses are handed to clients, and the round still completes and
+// converges to the same best.
+func TestServerCacheParallelRoundPrefill(t *testing.T) {
+	s, addr := startServer(t)
+	s.Cache = history.NewEvalCache()
+
+	reg := client.Registration{
+		App: "bowl", Machine: "m1", Space: testSpace(),
+		Strategy: proto.StrategyPRO, Parallel: true, MaxRuns: 60,
+	}
+	_, perf1, measured1 := driveSession(t, addr, reg)
+	if measured1 == 0 {
+		t.Fatal("first parallel session measured nothing")
+	}
+	hitsBefore, _ := s.Cache.Counters()
+
+	_, perf2, measured2 := driveSession(t, addr, reg)
+	if perf2 != perf1 {
+		t.Errorf("warm-cache parallel best perf = %v, want %v", perf2, perf1)
+	}
+	if measured2 != 0 {
+		t.Errorf("warm-cache parallel session measured %d configurations, want 0", measured2)
+	}
+	hitsAfter, _ := s.Cache.Counters()
+	if hitsAfter <= hitsBefore {
+		t.Errorf("cache hits did not grow across warm parallel session (%d -> %d)", hitsBefore, hitsAfter)
+	}
+}

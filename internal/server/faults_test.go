@@ -538,13 +538,14 @@ func TestWriteStatsFormat(t *testing.T) {
 		"harmony.fetches", "harmony.reports.accepted",
 		"harmony.reports.dropped_stale", "harmony.rounds.completed",
 		"harmony.proposals.reissued", "harmony.proposals.forfeited",
+		"harmony.cache.hits", "harmony.cache.misses",
 	} {
 		if !strings.Contains(out, metric+" ") {
 			t.Errorf("dump missing %q:\n%s", metric, out)
 		}
 	}
-	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 8 {
-		t.Errorf("dump has %d lines, want 8:\n%s", got, out)
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 10 {
+		t.Errorf("dump has %d lines, want 10:\n%s", got, out)
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"harmony/internal/history"
 	"harmony/internal/proto"
 	"harmony/internal/search"
 	"harmony/internal/space"
@@ -93,6 +94,16 @@ type Server struct {
 	// MaxReissues is how many straggler expiries a proposal survives
 	// before it is forfeited. <= 0 selects the default (3).
 	MaxReissues int
+
+	// Cache, if non-nil, answers proposals from the persistent
+	// evaluation cache: a session whose (app, machine, space)
+	// identity matches a prior measurement receives the cached value
+	// through the strategy without the configuration ever being
+	// handed to a client. Cached proposals still count against the
+	// session's MaxRuns — the run-cost accounting is identical for
+	// every cache state. Completed full-report measurements are
+	// stored back; forfeits and failures never are.
+	Cache *history.EvalCache
 
 	stats    counters
 	mu       sync.Mutex
@@ -140,6 +151,11 @@ type session struct {
 	batch    search.BatchStrategy
 	round    *fanoutRound
 	nextTag  int
+
+	// cache is the session's view of the server's evaluation cache,
+	// bound to (app, machine, space) at register time; nil when the
+	// server has no cache.
+	cache *history.BoundCache
 }
 
 // tagIssue records one handed-out proposal of a parallel round.
@@ -385,6 +401,9 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 		ss.parallel = true
 		ss.batch = search.AsBatch(strat)
 	}
+	if s.Cache != nil {
+		ss.cache = s.Cache.Bound(msg.App, msg.Machine, sp)
+	}
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
@@ -571,10 +590,10 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 	if ss.parallel {
 		return ss.fetchParallelLocked(now)
 	}
-	if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
-		return ss.bestOrCurrentLocked()
-	}
-	if ss.pending == nil {
+	for ss.pending == nil {
+		if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
+			return ss.bestOrCurrentLocked()
+		}
 		pt, ok := ss.strategy.Next()
 		if !ok {
 			ss.converged = true
@@ -588,6 +607,19 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 			// the next fetch surfaces the same error.
 			return errorReply("fetch: %v", err)
 		}
+		if ss.cache != nil {
+			if v, ok := ss.cache.Lookup(pt); ok {
+				// Answered from the evaluation cache: the run is
+				// charged (the paper's cost model counts it), the
+				// strategy advances, and the loop pulls the next
+				// proposal without any client round-trip.
+				ss.runs++
+				ss.stat().cacheHits.Add(1)
+				ss.strategy.Report(pt, v)
+				continue
+			}
+			ss.stat().cacheMisses.Add(1)
+		}
 		ss.pending = pt
 		ss.reports = ss.reports[:0]
 		ss.runs++
@@ -595,6 +627,9 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 		ss.pendingSince = now
 		ss.pendingExpiries = 0
 		return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Gen: ss.gen}
+	}
+	if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
+		return ss.bestOrCurrentLocked()
 	}
 	cfg, err := ss.space.Decode(ss.pending)
 	if err != nil {
@@ -625,7 +660,7 @@ func (ss *session) bestOrCurrentLocked() *proto.Message {
 // proposal (a fetch is never refused — a client that lost its
 // assignment to a crash re-fetches and another takes over its point).
 func (ss *session) fetchParallelLocked(now time.Time) *proto.Message {
-	if ss.round == nil {
+	for ss.round == nil {
 		if ss.converged || (ss.maxRuns > 0 && ss.runs >= ss.maxRuns) {
 			return ss.bestOrCurrentLocked()
 		}
@@ -648,6 +683,24 @@ func (ss *session) fetchParallelLocked(now time.Time) *proto.Message {
 		}
 		ss.runs += len(batch)
 		ss.round = newFanoutRound(batch)
+		// Pre-fill round positions the evaluation cache can answer:
+		// those proposals are complete before any client sees them.
+		// A fully cached round retires immediately and the loop pulls
+		// the next batch.
+		if ss.cache != nil {
+			r := ss.round
+			for i, pt := range r.pts {
+				if v, ok := ss.cache.Lookup(pt); ok {
+					r.worst[i] = v
+					r.count[i] = ss.reporters
+					r.complete++
+					ss.stat().cacheHits.Add(1)
+				} else {
+					ss.stat().cacheMisses.Add(1)
+				}
+			}
+			ss.maybeRetireRoundLocked()
+		}
 	}
 	r := ss.round
 	pos := -1
@@ -702,6 +755,11 @@ func (ss *session) reportParallelLocked(msg *proto.Message) *proto.Message {
 	}
 	if r.count[pos] == ss.reporters {
 		r.complete++
+		// A naturally completed proposal (full reports, finite
+		// aggregate) is banked; forfeits never reach this path.
+		if ss.cache != nil && !math.IsInf(r.worst[pos], 0) {
+			ss.cache.Store(r.pts[pos], r.worst[pos])
+		}
 	}
 	ss.maybeRetireRoundLocked()
 	return &proto.Message{Type: proto.TypeOK}
@@ -743,6 +801,12 @@ func (ss *session) finishPendingLocked() {
 		if v > worst {
 			worst = v
 		}
+	}
+	// Only complete, finite measurements enter the evaluation cache:
+	// a straggler-degraded aggregate (fewer reports than reporters) or
+	// a failure sentinel must not poison future sessions.
+	if ss.cache != nil && len(ss.reports) >= ss.reporters && !math.IsInf(worst, 0) {
+		ss.cache.Store(ss.pending, worst)
 	}
 	ss.strategy.Report(ss.pending, worst)
 	ss.pending = nil

@@ -35,6 +35,12 @@ type Stats struct {
 	// is delivered to the strategy as a +Inf penalty so the round
 	// still completes.
 	ProposalsForfeited int64
+	// CacheHits counts proposals answered from the server's
+	// evaluation cache without being handed to any client;
+	// CacheMisses counts proposals that consulted the cache and went
+	// to clients anyway. Both are zero when Server.Cache is unset.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // counters is the live atomic backing of Stats. Sessions hold a
@@ -48,6 +54,8 @@ type counters struct {
 	roundsCompleted     atomic.Int64
 	proposalsReissued   atomic.Int64
 	proposalsForfeited  atomic.Int64
+	cacheHits           atomic.Int64
+	cacheMisses         atomic.Int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -64,6 +72,8 @@ func (s *Server) Stats() Stats {
 		RoundsCompleted:     s.stats.roundsCompleted.Load(),
 		ProposalsReissued:   s.stats.proposalsReissued.Load(),
 		ProposalsForfeited:  s.stats.proposalsForfeited.Load(),
+		CacheHits:           s.stats.cacheHits.Load(),
+		CacheMisses:         s.stats.cacheMisses.Load(),
 	}
 }
 
@@ -84,6 +94,8 @@ func (s *Server) WriteStats(w io.Writer) error {
 		{"rounds.completed", st.RoundsCompleted},
 		{"proposals.reissued", st.ProposalsReissued},
 		{"proposals.forfeited", st.ProposalsForfeited},
+		{"cache.hits", st.CacheHits},
+		{"cache.misses", st.CacheMisses},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "harmony.%s %d\n", r.name, r.value); err != nil {

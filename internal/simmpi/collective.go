@@ -9,6 +9,12 @@ import (
 // collective operations. Every rank must call the same sequence of
 // collectives (SPMD discipline); a mismatch is detected and reported
 // as an application bug.
+//
+// The rendezvous state (arrivals, inputs, exits, outputs, and the
+// scratch arrays below) is reused across every collective of a
+// world's lifetime — and, through the world pool, across runs — so a
+// steady-state collective performs no allocations beyond what the
+// semantics force (output vectors the callers keep).
 type collective struct {
 	w    *World
 	mu   sync.Mutex
@@ -21,28 +27,63 @@ type collective struct {
 	inputs   []any
 	exits    []float64
 	outputs  []any
+
+	// Scalar fast path (Allreduce1): inputs and the uniform result
+	// live in flat float64 arrays, so no value is boxed.
+	f64in []float64
+	uExit float64
+	uOut  float64
+
+	// intOut carries per-rank integer results (AlltoallvBytes)
+	// without boxing; reads happen under mu before the next combine
+	// can run, so in-place reuse is safe.
+	intOut []int
+
+	// alltoallv combine scratch.
+	recvBytes []int
+	recvTime  []float64
+	sendTime  []float64
+	msgs      []int
 }
 
 func newCollective(w *World) *collective {
 	c := &collective{
-		w:        w,
-		arrivals: make([]float64, w.n),
-		inputs:   make([]any, w.n),
-		exits:    make([]float64, w.n),
-		outputs:  make([]any, w.n),
+		w:         w,
+		arrivals:  make([]float64, w.n),
+		inputs:    make([]any, w.n),
+		exits:     make([]float64, w.n),
+		outputs:   make([]any, w.n),
+		f64in:     make([]float64, w.n),
+		intOut:    make([]int, w.n),
+		recvBytes: make([]int, w.n),
+		recvTime:  make([]float64, w.n),
+		sendTime:  make([]float64, w.n),
+		msgs:      make([]int, w.n),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
+// reset restores a pooled collective to its initial state. inputs are
+// already nil (cleared at each combine); outputs are dropped so a
+// pooled world retains no caller data.
+func (c *collective) reset() {
+	c.gen = 0
+	c.arrived = 0
+	c.op = ""
+	for i := range c.outputs {
+		c.outputs[i] = nil
+	}
+}
+
 // combineFunc computes, once all ranks have arrived, the per-rank
 // exit clocks and outputs from the per-rank inputs and arrival
-// clocks.
-type combineFunc func(w *World, arrivals []float64, inputs []any) (exits []float64, outputs []any)
+// clocks, writing them into exits and outputs in place.
+type combineFunc func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any)
 
-// rendezvous runs one collective operation for rank r.
-func (c *collective) rendezvous(r *Rank, op string, input any, combine combineFunc) any {
-	c.mu.Lock()
+// arrive records rank r's arrival and returns the generation to wait
+// on. Callers hold c.mu.
+func (c *collective) arriveLocked(r *Rank, op string) uint64 {
 	if c.w.isAborted() {
 		c.mu.Unlock()
 		panic(errAborted)
@@ -53,42 +94,86 @@ func (c *collective) rendezvous(r *Rank, op string, input any, combine combineFu
 		c.mu.Unlock()
 		panic(fmt.Sprintf("simmpi: collective mismatch: rank %d calls %s while %s in progress", r.id, op, c.op))
 	}
-	g := c.gen
 	c.arrivals[r.id] = r.clock
-	c.inputs[r.id] = input
 	c.arrived++
-	if c.arrived == c.w.n {
-		// combine may detect an application bug (mismatched vector
-		// lengths, say) and panic; release the lock first so the
-		// abort path can wake the other ranks instead of deadlocking.
-		exits, outputs, err := func() (ex []float64, out []any, err any) {
-			defer func() { err = recover() }()
-			ex, out = combine(c.w, c.arrivals, c.inputs)
-			return ex, out, nil
-		}()
-		if err != nil {
+	return c.gen
+}
+
+// completeLocked runs combine guarded against application panics,
+// retires the generation, and wakes the waiters. Callers hold c.mu.
+func (c *collective) completeLocked(combine func() any) {
+	// combine may detect an application bug (mismatched vector
+	// lengths, say) and panic; release the lock first so the abort
+	// path can wake the other ranks instead of deadlocking.
+	if err := combine(); err != nil {
+		c.mu.Unlock()
+		panic(err)
+	}
+	for i := range c.inputs {
+		c.inputs[i] = nil
+	}
+	c.arrived = 0
+	c.gen++
+	c.cond.Broadcast()
+}
+
+// waitLocked blocks rank r until generation g is retired.
+func (c *collective) waitLocked(g uint64) {
+	for c.gen == g {
+		if c.w.isAborted() {
 			c.mu.Unlock()
-			panic(err)
+			panic(errAborted)
 		}
-		copy(c.exits, exits)
-		copy(c.outputs, outputs)
-		for i := range c.inputs {
-			c.inputs[i] = nil
-		}
-		c.arrived = 0
-		c.gen++
-		c.cond.Broadcast()
+		c.cond.Wait()
+	}
+}
+
+// guard invokes fn and converts its panic, if any, into a value.
+func guard(fn func()) (err any) {
+	defer func() { err = recover() }()
+	fn()
+	return nil
+}
+
+// rendezvous runs one collective operation for rank r.
+func (c *collective) rendezvous(r *Rank, op string, input any, combine combineFunc) any {
+	c.mu.Lock()
+	g := c.arriveLocked(r, op)
+	c.inputs[r.id] = input
+	if c.arrived == c.w.n {
+		c.completeLocked(func() any {
+			return guard(func() { combine(c.w, c.arrivals, c.inputs, c.exits, c.outputs) })
+		})
 	} else {
-		for c.gen == g {
-			if c.w.isAborted() {
-				c.mu.Unlock()
-				panic(errAborted)
-			}
-			c.cond.Wait()
-		}
+		c.waitLocked(g)
 	}
 	exit := c.exits[r.id]
 	out := c.outputs[r.id]
+	c.outputs[r.id] = nil
+	c.mu.Unlock()
+
+	if exit > r.clock {
+		r.wait += exit - r.clock
+		r.clock = exit
+	}
+	return out
+}
+
+// scalarRendezvous runs a collective whose input is one float64 per
+// rank and whose result (value and exit clock) is uniform across
+// ranks: the boxing-free path behind Allreduce1.
+func (c *collective) scalarRendezvous(r *Rank, op string, x float64, combine func(w *World, arrivals, inputs []float64) (exit, out float64)) float64 {
+	c.mu.Lock()
+	g := c.arriveLocked(r, op)
+	c.f64in[r.id] = x
+	if c.arrived == c.w.n {
+		c.completeLocked(func() any {
+			return guard(func() { c.uExit, c.uOut = combine(c.w, c.arrivals, c.f64in) })
+		})
+	} else {
+		c.waitLocked(g)
+	}
+	exit, out := c.uExit, c.uOut
 	c.mu.Unlock()
 
 	if exit > r.clock {
@@ -108,12 +193,10 @@ func maxOf(xs []float64) float64 {
 	return m
 }
 
-func uniformExits(n int, t float64) []float64 {
-	exits := make([]float64, n)
+func fillExits(exits []float64, t float64) {
 	for i := range exits {
 		exits[i] = t
 	}
-	return exits
 }
 
 // treeCost models a binomial-tree collective over n ranks moving
@@ -127,10 +210,9 @@ func (w *World) treeCost(bytes int) float64 {
 // Barrier synchronises all ranks: every clock advances to the latest
 // arrival plus the barrier's tree cost.
 func (r *Rank) Barrier() {
-	r.world.coll.rendezvous(r, "barrier", nil,
-		func(w *World, arrivals []float64, _ []any) ([]float64, []any) {
-			t := maxOf(arrivals) + w.treeCost(0)
-			return uniformExits(w.n, t), make([]any, w.n)
+	r.world.coll.scalarRendezvous(r, "barrier", 0,
+		func(w *World, arrivals, _ []float64) (float64, float64) {
+			return maxOf(arrivals) + w.treeCost(0), 0
 		})
 }
 
@@ -138,9 +220,8 @@ func (r *Rank) Barrier() {
 // returns the combined vector to every rank. All vectors must have
 // the same length.
 func (r *Rank) Allreduce(op Op, vec []float64) []float64 {
-	in := append([]float64(nil), vec...)
-	out := r.world.coll.rendezvous(r, "allreduce", in,
-		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+	out := r.world.coll.rendezvous(r, "allreduce", vec,
+		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
 			first := inputs[0].([]float64)
 			acc := append([]float64(nil), first...)
 			for i := 1; i < w.n; i++ {
@@ -156,18 +237,32 @@ func (r *Rank) Allreduce(op Op, vec []float64) []float64 {
 			w.mu.Lock()
 			w.bytesSent += int64(8 * len(acc) * int(log2ceil(w.n)))
 			w.mu.Unlock()
-			outs := make([]any, w.n)
-			for i := range outs {
-				outs[i] = append([]float64(nil), acc...)
+			for i := range outputs {
+				outputs[i] = append([]float64(nil), acc...)
 			}
-			return uniformExits(w.n, t), outs
+			fillExits(exits, t)
 		})
 	return out.([]float64)
 }
 
-// Allreduce1 is Allreduce for a single scalar.
+// Allreduce1 is Allreduce for a single scalar. It takes the
+// boxing-free scalar path: the cost model (arrival synchronisation,
+// tree cost for an 8-byte payload, bytesSent accounting) and the
+// combine order are exactly those of Allreduce with a length-1
+// vector.
 func (r *Rank) Allreduce1(op Op, x float64) float64 {
-	return r.Allreduce(op, []float64{x})[0]
+	return r.world.coll.scalarRendezvous(r, "allreduce1", x,
+		func(w *World, arrivals, inputs []float64) (float64, float64) {
+			acc := inputs[0]
+			for i := 1; i < w.n; i++ {
+				acc = op.apply(acc, inputs[i])
+			}
+			t := maxOf(arrivals) + w.treeCost(8)
+			w.mu.Lock()
+			w.bytesSent += int64(8 * int(log2ceil(w.n)))
+			w.mu.Unlock()
+			return t, acc
+		})
 }
 
 // Bcast distributes root's vector to every rank and returns it.
@@ -175,20 +270,19 @@ func (r *Rank) Allreduce1(op Op, x float64) float64 {
 func (r *Rank) Bcast(root int, vec []float64) []float64 {
 	var in []float64
 	if r.id == root {
-		in = append([]float64(nil), vec...)
+		in = vec
 	}
 	out := r.world.coll.rendezvous(r, "bcast", in,
-		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
 			data, _ := inputs[root].([]float64)
 			t := maxOf(arrivals) + w.treeCost(8*len(data))
 			w.mu.Lock()
 			w.bytesSent += int64(8 * len(data) * int(log2ceil(w.n)))
 			w.mu.Unlock()
-			outs := make([]any, w.n)
-			for i := range outs {
-				outs[i] = append([]float64(nil), data...)
+			for i := range outputs {
+				outputs[i] = append([]float64(nil), data...)
 			}
-			return uniformExits(w.n, t), outs
+			fillExits(exits, t)
 		})
 	return out.([]float64)
 }
@@ -198,9 +292,8 @@ func (r *Rank) Bcast(root int, vec []float64) []float64 {
 // for receiving the full volume; other ranks leave after their send
 // completes locally.
 func (r *Rank) Gather(root int, vec []float64) [][]float64 {
-	in := append([]float64(nil), vec...)
-	out := r.world.coll.rendezvous(r, "gather", in,
-		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+	out := r.world.coll.rendezvous(r, "gather", vec,
+		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
 			l := w.worstLink()
 			var bytes int
 			gathered := make([][]float64, w.n)
@@ -215,19 +308,16 @@ func (r *Rank) Gather(root int, vec []float64) [][]float64 {
 			w.mu.Lock()
 			w.bytesSent += int64(bytes)
 			w.mu.Unlock()
-			exits := make([]float64, w.n)
-			outs := make([]any, w.n)
 			for i := range exits {
 				if i == root {
 					exits[i] = tRoot
-					outs[i] = gathered
+					outputs[i] = gathered
 				} else {
 					// Senders proceed once their message is injected.
 					exits[i] = arrivals[i] + l.Overhead
-					outs[i] = [][]float64(nil)
+					outputs[i] = [][]float64(nil)
 				}
 			}
-			return exits, outs
 		})
 	return out.([][]float64)
 }
@@ -253,21 +343,30 @@ func (r *Rank) AlltoallvBytes(sendBytes map[int]int) int {
 		}
 	}
 	out := r.world.coll.rendezvous(r, "alltoallv", in,
-		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
+			c := w.coll
 			base := maxOf(arrivals)
 			lat := w.worstLink().Latency * log2ceil(w.n)
 			overhead := w.worstLink().Overhead
-			exits := make([]float64, w.n)
-			outs := make([]any, w.n)
 			var total int64
 			var interNode float64
-			recvBytes := make([]int, w.n)
-			recvTime := make([]float64, w.n)
-			sendTime := make([]float64, w.n)
-			msgs := make([]int, w.n) // messages touched per rank
+			recvBytes := c.recvBytes
+			recvTime := c.recvTime
+			sendTime := c.sendTime
+			msgs := c.msgs // messages touched per rank
+			for i := 0; i < w.n; i++ {
+				recvBytes[i], recvTime[i], sendTime[i], msgs[i] = 0, 0, 0, 0
+			}
+			// Destinations are visited in increasing rank order, never
+			// map order: per-rank float accumulation must not depend on
+			// hash-iteration order or repeated runs diverge bitwise.
 			for src := 0; src < w.n; src++ {
 				m := inputs[src].(map[int]int)
-				for dst, b := range m {
+				for dst := 0; dst < w.n && len(m) > 0; dst++ {
+					b, ok := m[dst]
+					if !ok {
+						continue
+					}
 					link := w.machine.LinkBetween(src, dst)
 					dt := float64(b) / link.Bandwidth
 					recvTime[dst] += dt
@@ -294,14 +393,15 @@ func (r *Rank) AlltoallvBytes(sendBytes map[int]int) int {
 					cost = congestion
 				}
 				exits[i] = base + lat + cost + float64(msgs[i])*overhead
-				outs[i] = recvBytes[i]
+				c.intOut[i] = recvBytes[i]
+				outputs[i] = nil
 			}
 			w.mu.Lock()
 			w.bytesSent += total
 			w.mu.Unlock()
-			return exits, outs
 		})
-	return out.(int)
+	_ = out
+	return r.world.coll.intOut[r.id]
 }
 
 // Reduce combines each rank's vector elementwise with op and delivers
@@ -312,9 +412,8 @@ func (r *Rank) Reduce(root int, op Op, vec []float64) []float64 {
 	if root < 0 || root >= r.world.n {
 		panic(fmt.Sprintf("simmpi: reduce to invalid root %d", root))
 	}
-	in := append([]float64(nil), vec...)
-	out := r.world.coll.rendezvous(r, "reduce", in,
-		func(w *World, arrivals []float64, inputs []any) ([]float64, []any) {
+	out := r.world.coll.rendezvous(r, "reduce", vec,
+		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
 			l := w.worstLink()
 			acc := append([]float64(nil), inputs[0].([]float64)...)
 			for i := 1; i < w.n; i++ {
@@ -329,19 +428,16 @@ func (r *Rank) Reduce(root int, op Op, vec []float64) []float64 {
 			w.mu.Lock()
 			w.bytesSent += int64(8 * len(acc) * int(log2ceil(w.n)))
 			w.mu.Unlock()
-			exits := make([]float64, w.n)
-			outs := make([]any, w.n)
 			tRoot := maxOf(arrivals) + w.treeCost(8*len(acc))
 			for i := range exits {
 				if i == root {
 					exits[i] = tRoot
-					outs[i] = acc
+					outputs[i] = acc
 				} else {
 					exits[i] = arrivals[i] + l.Overhead
-					outs[i] = []float64(nil)
+					outputs[i] = []float64(nil)
 				}
 			}
-			return exits, outs
 		})
 	return out.([]float64)
 }

@@ -119,6 +119,7 @@ type World struct {
 	n       int
 	boxes   []*mailbox
 	coll    *collective
+	poolKey worldPoolKey
 
 	mu        sync.Mutex
 	aborted   bool
@@ -149,6 +150,60 @@ func (r *Rank) Machine() *cluster.Machine { return r.world.machine }
 // Elapsed returns the rank's current virtual clock in seconds.
 func (r *Rank) Elapsed() float64 { return r.clock }
 
+// worldPools recycles idle Worlds per (machine fingerprint, rank
+// count): a tuning campaign re-running the same machine shape
+// thousands of times reuses one set of mailboxes and collective
+// scratch instead of rebuilding them every evaluation. Only worlds
+// that completed cleanly are pooled; aborted worlds (with blocked
+// ranks and poisoned mailboxes) are dropped.
+var worldPools sync.Map // worldPoolKey -> *sync.Pool
+
+type worldPoolKey struct {
+	machine string
+	n       int
+}
+
+func acquireWorld(m *cluster.Machine, n int) *World {
+	key := worldPoolKey{machine: m.Fingerprint(), n: n}
+	if p, ok := worldPools.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			w := v.(*World)
+			w.reset(m)
+			return w
+		}
+	}
+	w := &World{machine: m, n: n, poolKey: key}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.coll = newCollective(w)
+	return w
+}
+
+func releaseWorld(w *World) {
+	p, ok := worldPools.Load(w.poolKey)
+	if !ok {
+		p, _ = worldPools.LoadOrStore(w.poolKey, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(w)
+}
+
+// reset returns a pooled world to its pristine state for machine m
+// (which must carry the fingerprint the world was pooled under).
+func (w *World) reset(m *cluster.Machine) {
+	w.machine = m
+	w.aborted = false
+	w.bytesSent = 0
+	w.messages = 0
+	for _, mb := range w.boxes {
+		if len(mb.queues) > 0 {
+			clear(mb.queues)
+		}
+	}
+	w.coll.reset()
+}
+
 // Run executes body on n simulated ranks of machine m and returns the
 // job statistics. n must not exceed m.Procs(): ranks map to
 // processors node-major. A panic in any rank program aborts the whole
@@ -162,12 +217,7 @@ func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
 	if n <= 0 || n > m.Procs() {
 		return Stats{}, fmt.Errorf("simmpi: %d ranks on %s (%d processors)", n, m, m.Procs())
 	}
-	w := &World{machine: m, n: n}
-	w.boxes = make([]*mailbox, n)
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
-	w.coll = newCollective(w)
+	w := acquireWorld(m, n)
 
 	ranks := make([]*Rank, n)
 	var wg sync.WaitGroup
@@ -230,6 +280,7 @@ func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
 			st.Time = r.clock
 		}
 	}
+	releaseWorld(w)
 	return st, nil
 }
 
@@ -277,9 +328,18 @@ func (r *Rank) Sleep(dt float64) {
 
 // Send posts data to dst under tag. The send is eager and
 // non-blocking: the sender pays only the link injection overhead.
-// Message size is 8 bytes per element.
+// Message size is 8 bytes per element. The data slice is copied, so
+// the caller may reuse it immediately.
 func (r *Rank) Send(dst, tag int, data []float64) {
 	r.send(dst, tag, append([]float64(nil), data...), 8*len(data))
+}
+
+// SendOwned is Send without the defensive copy: ownership of data
+// transfers to the machine (and eventually to the receiver returned
+// by Recv). The caller must not touch data afterwards. Simulators on
+// the hot path use it to ship freshly built payloads allocation-free.
+func (r *Rank) SendOwned(dst, tag int, data []float64) {
+	r.send(dst, tag, data, 8*len(data))
 }
 
 // SendBytes posts a payload-free message of the given size: the
@@ -288,6 +348,10 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 func (r *Rank) SendBytes(dst, tag, bytes int) {
 	r.send(dst, tag, nil, bytes)
 }
+
+// msgPool recycles message envelopes: the payload escapes to the
+// receiver but the envelope itself is returned on Recv.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
 
 func (r *Rank) send(dst, tag int, payload []float64, bytes int) {
 	w := r.world
@@ -302,7 +366,8 @@ func (r *Rank) send(dst, tag int, payload []float64, bytes int) {
 	}
 	link := w.machine.LinkBetween(r.id, dst)
 	r.clock += link.Overhead
-	m := &message{payload: payload, bytes: bytes, depart: r.clock, link: link}
+	m := msgPool.Get().(*message)
+	m.payload, m.bytes, m.depart, m.link = payload, bytes, r.clock, link
 
 	mb := w.boxes[dst]
 	mb.mu.Lock()
@@ -349,7 +414,10 @@ func (r *Rank) Recv(src, tag int) []float64 {
 		r.wait += arrival - r.clock
 		r.clock = arrival
 	}
-	return m.payload
+	payload := m.payload
+	m.payload = nil
+	msgPool.Put(m)
+	return payload
 }
 
 // SendRecv exchanges messages with a peer: posts the send, then

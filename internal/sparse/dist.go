@@ -3,6 +3,8 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"harmony/internal/simmpi"
 )
@@ -15,6 +17,11 @@ const FlopsPerNNZ = 8.0
 // DistMatrix is a CSR matrix plus a row partition with precomputed
 // communication plans: for every rank, which vector entries it must
 // receive from (and send to) every other rank during a MatVec.
+//
+// A DistMatrix is immutable after construction and safe for
+// concurrent use by many simulated worlds at once, which is what lets
+// PlanCache share one instance across the evaluations of a whole
+// tuning campaign.
 type DistMatrix struct {
 	A    *CSR
 	Part Partition
@@ -22,19 +29,40 @@ type DistMatrix struct {
 	plans []rankPlan
 }
 
+// neighbor is one leg of a halo exchange: the peer rank and the
+// global indices travelling on that leg (sorted ascending).
+type neighbor struct {
+	rank int
+	idx  []int
+	// off is the slot offset of this leg's entries in the receiving
+	// rank's ghost buffer (meaningful on recv legs only): ghosts from
+	// one peer occupy a contiguous slot range because both the ghost
+	// list and the row partition are sorted.
+	off int
+}
+
 type rankPlan struct {
 	lo, hi int
 	nnz    int
-	// sendTo[q] lists the global indices of entries this rank owns
-	// and must ship to rank q before q's local product.
-	sendTo map[int][]int
-	// recvFrom[q] lists the global indices this rank needs from q.
-	recvFrom map[int][]int
-	// neighbors of each kind in deterministic order.
-	sendOrder, recvOrder []int
+	// send and recv list the halo legs in increasing peer order.
+	send []neighbor
+	recv []neighbor
+	// ghosts is the sorted list of remote global indices this rank
+	// reads; nGhost == len(ghosts).
+	ghosts []int
+	nGhost int
+	// colIdx maps each stored entry of the rank's rows (offset by the
+	// rank's first entry) to its slot in the packed operand vector:
+	// local columns map to [0, hi-lo), remote columns to hi-lo+slot.
+	// It turns the inner product loop into pure array indexing.
+	colIdx []int32
 }
 
-// NewDistMatrix distributes a over the given partition.
+// NewDistMatrix distributes a over the given partition. Plans are
+// built with sorted-slice set construction: per rank the remote
+// columns are collected, sorted, and deduplicated once, and because
+// the partition is contiguous the sorted ghost list splits into
+// per-peer runs without any map bookkeeping.
 func NewDistMatrix(a *CSR, part Partition) (*DistMatrix, error) {
 	if err := part.Validate(a.N); err != nil {
 		return nil, err
@@ -42,54 +70,73 @@ func NewDistMatrix(a *CSR, part Partition) (*DistMatrix, error) {
 	p := part.P()
 	dm := &DistMatrix{A: a, Part: part, plans: make([]rankPlan, p)}
 
-	// Pass 1: what each rank needs.
-	need := make([]map[int]map[int]bool, p) // rank -> src -> set of global idx
+	// Pass 1: per rank, the sorted deduplicated remote columns.
 	for r := 0; r < p; r++ {
-		need[r] = make(map[int]map[int]bool)
+		pl := &dm.plans[r]
 		lo, hi := part.Range(r)
-		dm.plans[r].lo, dm.plans[r].hi = lo, hi
-		dm.plans[r].nnz = a.RowNNZ(lo, hi)
+		pl.lo, pl.hi = lo, hi
+		pl.nnz = a.RowNNZ(lo, hi)
+		ghosts := make([]int, 0, 16)
 		for k := a.RowPtr[lo]; k < a.RowPtr[hi]; k++ {
+			if c := a.Col[k]; c < lo || c >= hi {
+				ghosts = append(ghosts, c)
+			}
+		}
+		sort.Ints(ghosts)
+		ghosts = dedupSorted(ghosts)
+		pl.ghosts = ghosts
+		pl.nGhost = len(ghosts)
+
+		// Split the sorted ghost list into per-owner runs: owners are
+		// non-decreasing along the sorted list.
+		for i := 0; i < len(ghosts); {
+			owner := part.OwnerOf(ghosts[i])
+			_, ohi := part.Range(owner)
+			j := i + 1
+			for j < len(ghosts) && ghosts[j] < ohi {
+				j++
+			}
+			pl.recv = append(pl.recv, neighbor{rank: owner, idx: ghosts[i:j], off: i})
+			i = j
+		}
+	}
+	// Pass 2: sends mirror needs. Appending in increasing receiver
+	// order keeps each send list sorted by peer.
+	for r := 0; r < p; r++ {
+		for _, nb := range dm.plans[r].recv {
+			dm.plans[nb.rank].send = append(dm.plans[nb.rank].send, neighbor{rank: r, idx: nb.idx})
+		}
+	}
+	// Pass 3: the operand index map.
+	for r := 0; r < p; r++ {
+		pl := &dm.plans[r]
+		nloc := pl.hi - pl.lo
+		pl.colIdx = make([]int32, pl.nnz)
+		base := a.RowPtr[pl.lo]
+		for k := base; k < a.RowPtr[pl.hi]; k++ {
 			c := a.Col[k]
-			if c < lo || c >= hi {
-				owner := part.OwnerOf(c)
-				if need[r][owner] == nil {
-					need[r][owner] = make(map[int]bool)
-				}
-				need[r][owner][c] = true
+			if c >= pl.lo && c < pl.hi {
+				pl.colIdx[k-base] = int32(c - pl.lo)
+			} else {
+				pl.colIdx[k-base] = int32(nloc + sort.SearchInts(pl.ghosts, c))
 			}
 		}
-	}
-	// Pass 2: freeze into ordered plans; sends mirror needs.
-	for r := 0; r < p; r++ {
-		dm.plans[r].recvFrom = make(map[int][]int)
-		dm.plans[r].sendTo = make(map[int][]int)
-	}
-	for r := 0; r < p; r++ {
-		for src, set := range need[r] {
-			idx := make([]int, 0, len(set))
-			for i := range set {
-				idx = append(idx, i)
-			}
-			sort.Ints(idx)
-			dm.plans[r].recvFrom[src] = idx
-			dm.plans[src].sendTo[r] = idx
-		}
-	}
-	for r := 0; r < p; r++ {
-		dm.plans[r].recvOrder = sortedKeys(dm.plans[r].recvFrom)
-		dm.plans[r].sendOrder = sortedKeys(dm.plans[r].sendTo)
 	}
 	return dm, nil
 }
 
-func sortedKeys(m map[int][]int) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
 	}
-	sort.Ints(keys)
-	return keys
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // LocalSize returns the number of rows rank owns.
@@ -102,11 +149,7 @@ func (dm *DistMatrix) LocalNNZ(rank int) int { return dm.plans[rank].nnz }
 
 // HaloBytes returns the total bytes rank receives per MatVec.
 func (dm *DistMatrix) HaloBytes(rank int) int {
-	var n int
-	for _, idx := range dm.plans[rank].recvFrom {
-		n += 8 * len(idx)
-	}
-	return n
+	return 8 * dm.plans[rank].nGhost
 }
 
 // MaxLocalNNZ returns the largest per-rank nonzero count: the load
@@ -128,44 +171,40 @@ func (dm *DistMatrix) MaxLocalNNZ() int {
 // FlopsPerNNZ per stored entry.
 func (dm *DistMatrix) MatVec(r *simmpi.Rank, tag int, x []float64) []float64 {
 	plan := &dm.plans[r.ID()]
-	if len(x) != plan.hi-plan.lo {
-		panic(fmt.Sprintf("sparse: rank %d MatVec got %d entries, owns %d", r.ID(), len(x), plan.hi-plan.lo))
+	nloc := plan.hi - plan.lo
+	if len(x) != nloc {
+		panic(fmt.Sprintf("sparse: rank %d MatVec got %d entries, owns %d", r.ID(), len(x), nloc))
 	}
-	// Ship owned entries to every neighbour that needs them.
-	for _, dst := range plan.sendOrder {
-		idx := plan.sendTo[dst]
-		vals := make([]float64, len(idx))
-		for i, g := range idx {
+	// Ship owned entries to every neighbour that needs them. The
+	// payload slice is handed to the machine without a defensive copy.
+	for _, nb := range plan.send {
+		vals := make([]float64, len(nb.idx))
+		for i, g := range nb.idx {
 			vals[i] = x[g-plan.lo]
 		}
-		r.Send(dst, tag, vals)
+		r.SendOwned(nb.rank, tag, vals)
 	}
-	// Collect ghosts.
-	ghost := make(map[int]float64)
-	for _, src := range plan.recvOrder {
-		idx := plan.recvFrom[src]
-		vals := r.Recv(src, tag)
-		if len(vals) != len(idx) {
-			panic(fmt.Sprintf("sparse: rank %d expected %d ghosts from %d, got %d", r.ID(), len(idx), src, len(vals)))
+	// Operand vector: local entries followed by ghost slots. Ghosts
+	// from one peer land in one contiguous copy.
+	xbuf := make([]float64, nloc+plan.nGhost)
+	copy(xbuf, x)
+	for _, nb := range plan.recv {
+		vals := r.Recv(nb.rank, tag)
+		if len(vals) != len(nb.idx) {
+			panic(fmt.Sprintf("sparse: rank %d expected %d ghosts from %d, got %d", r.ID(), len(nb.idx), nb.rank, len(vals)))
 		}
-		for i, g := range idx {
-			ghost[g] = vals[i]
-		}
+		copy(xbuf[nloc+nb.off:], vals)
 	}
-	// Local product.
+	// Local product over the precomputed operand index map: pure
+	// array indexing, no branches or hashing in the inner loop.
 	a := dm.A
-	y := make([]float64, plan.hi-plan.lo)
+	y := make([]float64, nloc)
+	base := a.RowPtr[plan.lo]
+	ci := plan.colIdx
 	for row := plan.lo; row < plan.hi; row++ {
 		var s float64
 		for k := a.RowPtr[row]; k < a.RowPtr[row+1]; k++ {
-			c := a.Col[k]
-			var xv float64
-			if c >= plan.lo && c < plan.hi {
-				xv = x[c-plan.lo]
-			} else {
-				xv = ghost[c]
-			}
-			s += a.Val[k] * xv
+			s += a.Val[k] * xbuf[ci[k-base]]
 		}
 		y[row-plan.lo] = s
 	}
@@ -177,6 +216,66 @@ func (dm *DistMatrix) MatVec(r *simmpi.Rank, tag int, x []float64) []float64 {
 func (dm *DistMatrix) Scatter(rank int, global []float64) []float64 {
 	plan := &dm.plans[rank]
 	return append([]float64(nil), global[plan.lo:plan.hi]...)
+}
+
+// PlanCache memoises DistMatrix construction per partition for one
+// matrix: a tuning campaign that revisits a decomposition pays the
+// ghost-list/plan computation once and reuses the frozen plans for
+// every later evaluation. Safe for concurrent use.
+type PlanCache struct {
+	a  *CSR
+	mu sync.Mutex
+	m  map[string]*DistMatrix
+}
+
+// NewPlanCache returns an empty plan cache for matrix a.
+func NewPlanCache(a *CSR) *PlanCache {
+	return &PlanCache{a: a, m: make(map[string]*DistMatrix)}
+}
+
+// Get returns the DistMatrix for the partition, building and caching
+// it on first use.
+func (pc *PlanCache) Get(part Partition) (*DistMatrix, error) {
+	key := partitionKey(part)
+	pc.mu.Lock()
+	if dm, ok := pc.m[key]; ok {
+		pc.mu.Unlock()
+		return dm, nil
+	}
+	pc.mu.Unlock()
+	// Build outside the lock: plan construction is the expensive part
+	// and concurrent builders of the same key converge to equal plans.
+	dm, err := NewDistMatrix(pc.a, part)
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	if prior, ok := pc.m[key]; ok {
+		dm = prior // keep the first: identical, and callers may share
+	} else {
+		pc.m[key] = dm
+	}
+	pc.mu.Unlock()
+	return dm, nil
+}
+
+// Len reports the number of distinct partitions cached.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.m)
+}
+
+// partitionKey renders the partition starts compactly.
+func partitionKey(part Partition) string {
+	buf := make([]byte, 0, 8*len(part.Starts))
+	for i, s := range part.Starts {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(s), 10)
+	}
+	return string(buf)
 }
 
 // VecFlops is the compute cost per element of a vector update.

@@ -54,35 +54,83 @@ func (a *CSR) MulVec(x []float64) []float64 {
 	return y
 }
 
-// builder accumulates triplets then freezes them into CSR.
+// triplet is one recorded matrix update. set replaces any earlier
+// value of the cell; otherwise the value accumulates.
+type triplet struct {
+	j   int
+	v   float64
+	set bool
+}
+
+// builder accumulates triplets in flat slices and freezes them into
+// CSR with a bucket-by-row, sort-within-row merge. Unlike the
+// previous map-of-maps representation it performs no per-row map
+// allocation and no hashing, and the freeze applies duplicate updates
+// in their original program order, so the result is deterministic to
+// the bit.
 type builder struct {
-	n    int
-	rows []map[int]float64
+	n     int
+	rowOf []int // rowOf[k] is the row of trips[k]
+	trips []triplet
 }
 
 func newBuilder(n int) *builder {
-	rows := make([]map[int]float64, n)
-	for i := range rows {
-		rows[i] = make(map[int]float64, 8)
-	}
-	return &builder{n: n, rows: rows}
+	return &builder{n: n}
 }
 
-func (b *builder) add(i, j int, v float64) { b.rows[i][j] += v }
+func (b *builder) add(i, j int, v float64) {
+	b.rowOf = append(b.rowOf, i)
+	b.trips = append(b.trips, triplet{j: j, v: v})
+}
 
-func (b *builder) set(i, j int, v float64) { b.rows[i][j] = v }
+func (b *builder) set(i, j int, v float64) {
+	b.rowOf = append(b.rowOf, i)
+	b.trips = append(b.trips, triplet{j: j, v: v, set: true})
+}
 
 func (b *builder) build() *CSR {
+	// Stable bucket by row: counting sort keeps each row's updates in
+	// program order.
+	counts := make([]int, b.n+1)
+	for _, i := range b.rowOf {
+		counts[i+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		counts[i+1] += counts[i]
+	}
+	byRow := make([]triplet, len(b.trips))
+	next := make([]int, b.n)
+	copy(next, counts[:b.n])
+	for k, t := range b.trips {
+		i := b.rowOf[k]
+		byRow[next[i]] = t
+		next[i]++
+	}
+
 	a := &CSR{N: b.n, RowPtr: make([]int, b.n+1)}
-	for i, row := range b.rows {
-		cols := make([]int, 0, len(row))
-		for j := range row {
-			cols = append(cols, j)
+	a.Col = make([]int, 0, len(b.trips))
+	a.Val = make([]float64, 0, len(b.trips))
+	for i := 0; i < b.n; i++ {
+		row := byRow[counts[i]:counts[i+1]]
+		// Stable insertion sort by column: duplicates stay in program
+		// order so set/add semantics replay exactly.
+		for x := 1; x < len(row); x++ {
+			for y := x; y > 0 && row[y].j < row[y-1].j; y-- {
+				row[y], row[y-1] = row[y-1], row[y]
+			}
 		}
-		sort.Ints(cols)
-		for _, j := range cols {
+		for x := 0; x < len(row); {
+			j := row[x].j
+			var acc float64
+			for ; x < len(row) && row[x].j == j; x++ {
+				if row[x].set {
+					acc = row[x].v
+				} else {
+					acc += row[x].v
+				}
+			}
 			a.Col = append(a.Col, j)
-			a.Val = append(a.Val, row[j])
+			a.Val = append(a.Val, acc)
 		}
 		a.RowPtr[i+1] = len(a.Col)
 	}
@@ -175,23 +223,25 @@ func VariableBandLaplacian(n, minBand, maxBand, waves int) *CSR {
 		w := float64(minBand) + (float64(maxBand-minBand))*(0.5+0.5*math.Sin(phase))
 		return int(w)
 	}
+	// off accumulates each row's absolute off-diagonal mass in the
+	// order the entries are emitted: a fixed order, so the diagonal
+	// (and hence the whole matrix) is deterministic to the bit. The
+	// previous implementation summed over a map and could produce
+	// bitwise-different diagonals between runs.
+	off := make([]float64, n)
 	for i := 0; i < n; i++ {
 		half := band(i) / 2
 		for k := 1; k <= half && i+k < n; k++ {
 			v := -1.0 / float64(k)
 			b.set(i, i+k, v)
 			b.set(i+k, i, v)
+			off[i] += math.Abs(v)
+			off[i+k] += math.Abs(v)
 		}
 	}
 	// Diagonal dominance.
 	for i := 0; i < n; i++ {
-		var off float64
-		for j, v := range b.rows[i] {
-			if j != i {
-				off += math.Abs(v)
-			}
-		}
-		b.set(i, i, off+1)
+		b.set(i, i, off[i]+1)
 	}
 	return b.build()
 }
