@@ -1,0 +1,84 @@
+// Command harmonyvet runs the repository's custom static-analysis
+// suite: determinism and protocol invariants the compiler cannot
+// check. It loads the module's packages from source (stdlib go/parser
+// + go/types only), runs every analyzer, and prints findings as
+//
+//	file:line: [analyzer] message
+//
+// exiting 1 when there are findings (2 on load errors), so it gates
+// CI. Suppress an individual finding with a justified directive on or
+// directly above the offending line:
+//
+//	//harmonyvet:ignore <analyzer> <reason>
+//
+// Usage:
+//
+//	harmonyvet [-C dir] [-only analyzer[,analyzer]] [-list] [patterns...]
+//
+// Patterns are package directories or recursive "dir/..." forms,
+// resolved against the module root; the default is "./...".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"harmony/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("harmonyvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "run as if started in `dir`")
+	only := fs.String("only", "", "comma-separated `analyzers` to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "harmonyvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "harmonyvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "harmonyvet: %v\n", err)
+		return 2
+	}
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "harmonyvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestSelfHostClean is the smoke test the CI gate relies on: the
+// final tree must produce zero findings, so a vet regression shows up
+// as a test failure too.
+func TestSelfHostClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", "../..", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("harmonyvet ./... exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings on a clean tree, got:\n%s", out.String())
+	}
+}
+
+// TestFixturesFail drives the CLI at each analyzer's positive fixture
+// package and checks the exit code and the file:line-tagged output.
+func TestFixturesFail(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer string
+	}{
+		{"simmpi", "wallclock"},
+		{"maporder", "maporder"},
+		{"search", "randsource"},
+		{"lockcheck", "lockcheck"},
+		{"proto", "errdrop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			pattern := "./internal/analysis/testdata/src/" + tc.dir
+			code := run([]string{"-C", "../..", pattern}, &out, &errb)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+			}
+			lineRe := regexp.MustCompile(`fixture\.go:\d+: \[` + tc.analyzer + `\] `)
+			if !lineRe.MatchString(out.String()) {
+				t.Errorf("output lacks a file:line [%s] finding:\n%s", tc.analyzer, out.String())
+			}
+		})
+	}
+}
+
+// TestListFlag checks the analyzer inventory printout.
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	for _, name := range []string{"wallclock", "maporder", "randsource", "lockcheck", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestOnlyFlag restricts the run to one analyzer: the wallclock
+// fixture is dirty under wallclock but clean under errdrop.
+func TestOnlyFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	pattern := "./internal/analysis/testdata/src/simmpi"
+	if code := run([]string{"-C", "../..", "-only", "errdrop", pattern}, &out, &errb); code != 0 {
+		t.Fatalf("-only errdrop exit = %d, want 0\nstdout:\n%s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", "../..", "-only", "wallclock", pattern}, &out, &errb); code != 1 {
+		t.Fatalf("-only wallclock exit = %d, want 1\nstdout:\n%s", code, out.String())
+	}
+}

@@ -326,8 +326,13 @@ func objective(spec Spec, runTimeout time.Duration) core.Objective {
 			cmd.WaitDelay = time.Second
 		}
 		cmd.Env = os.Environ()
-		for name, v := range values {
-			cmd.Env = append(cmd.Env, "HT_"+strings.ToUpper(name)+"="+v)
+		names := make([]string, 0, len(values))
+		for name := range values {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cmd.Env = append(cmd.Env, "HT_"+strings.ToUpper(name)+"="+values[name])
 		}
 		start := time.Now()
 		out, err := cmd.Output()

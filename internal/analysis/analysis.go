@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic, printed as
+// "file:line: [analyzer] message".
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //harmonyvet:ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Applies reports whether the analyzer runs on the package with
+	// the given import path. Selection is by final path element, so
+	// fixture packages under testdata/src/<name> are analyzed exactly
+	// like the real package of the same name.
+	Applies func(pkgPath string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(p *Pass)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		wallclockAnalyzer,
+		maporderAnalyzer,
+		randsourceAnalyzer,
+		lockcheckAnalyzer,
+		errdropAnalyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// pkgBase returns the final element of an import path: the package
+// selector the Applies filters match on.
+func pkgBase(pkgPath string) string { return path.Base(pkgPath) }
+
+// baseIn builds an Applies filter matching a set of final path
+// elements.
+func baseIn(names ...string) func(string) bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(pkgPath string) bool { return set[pkgBase(pkgPath)] }
+}
+
+// everywhere is the Applies filter of analyzers that run on every
+// package of the module.
+func everywhere(string) bool { return true }
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//harmonyvet:ignore <analyzer> <reason>
+//
+// The directive suppresses findings of the named analyzer on its own
+// line and on the following line, so it can trail the offending
+// statement or sit on its own line above it. The reason is mandatory:
+// a directive without one is itself reported (as analyzer
+// "harmonyvet"), so every suppression in the tree carries a written
+// justification.
+const ignorePrefix = "harmonyvet:ignore"
+
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectSuppressions scans a package's comments for ignore
+// directives, reporting malformed ones as findings.
+func collectSuppressions(pkg *Package) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				switch {
+				case len(fields) == 0 || ByName(fields[0]) == nil:
+					bad = append(bad, Finding{
+						Pos: pos, Analyzer: "harmonyvet",
+						Message: fmt.Sprintf("ignore directive must name a known analyzer (%s)", analyzerNames()),
+					})
+				case len(fields) < 2:
+					bad = append(bad, Finding{
+						Pos: pos, Analyzer: "harmonyvet",
+						Message: fmt.Sprintf("ignore directive for %q needs a written reason", fields[0]),
+					})
+				default:
+					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// suppressed reports whether a finding is covered by a directive on
+// its line or the line above.
+func suppressed(f Finding, sups []suppression) bool {
+	for _, s := range sups {
+		if s.analyzer == f.Analyzer && s.file == f.Pos.Filename &&
+			(s.line == f.Pos.Line || s.line == f.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the packages, filters suppressed
+// findings, and returns the survivors sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sups, bad := collectSuppressions(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				if !suppressed(f, sups) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// inspect walks every file of the pass's package.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// lockcheckAnalyzer catches the two mutex mistakes the simulator's
+// rendezvous-heavy code is most exposed to:
+//
+//  1. A mutex locked on a path with a return before the unlock and no
+//     deferred unlock in the function: the next rank to block on that
+//     mutex deadlocks the whole world. The check is positional — a
+//     return statement between a Lock call and the next Unlock of the
+//     same expression (with no defer covering it) is flagged — which
+//     matches the condition-variable style used throughout simmpi
+//     without a full control-flow graph.
+//  2. A struct containing a sync.Mutex/RWMutex passed (or received)
+//     by value: the copy locks a different mutex than the original,
+//     silently removing mutual exclusion.
+var lockcheckAnalyzer = &Analyzer{
+	Name:    "lockcheck",
+	Doc:     "no returns while a mutex is held without defer; no mutex-bearing structs passed by value",
+	Applies: everywhere,
+	Run: func(p *Pass) {
+		p.inspect(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockPaths(p, n.Body)
+				}
+				checkMutexByValue(p, n)
+			case *ast.FuncLit:
+				checkLockPaths(p, n.Body)
+			}
+			return true
+		})
+	},
+}
+
+// lockEvent is one Lock/Unlock call or return inside one function
+// scope (nested function literals are analyzed separately).
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // canonical receiver text, "" for returns
+	lock     bool   // Lock/RLock
+	unlock   bool   // Unlock/RUnlock
+	deferred bool
+	ret      bool
+}
+
+// checkLockPaths scans one function body, skipping nested literals.
+func checkLockPaths(p *Pass, body *ast.BlockStmt) {
+	var events []lockEvent
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // analyzed as its own scope
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				events = append(events, lockEvent{pos: n.Pos(), ret: true})
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				isLock := name == "Lock" || name == "RLock"
+				isUnlock := name == "Unlock" || name == "RUnlock"
+				if (!isLock && !isUnlock) || !isMutexExpr(p, sel.X) {
+					return true
+				}
+				events = append(events, lockEvent{
+					pos: n.Pos(), recv: exprText(sel.X),
+					lock: isLock, unlock: isUnlock, deferred: inDefer,
+				})
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for i, e := range events {
+		if !e.lock || e.deferred {
+			continue
+		}
+		deferredUnlock := false
+		for _, u := range events {
+			if u.unlock && u.deferred && u.recv == e.recv {
+				deferredUnlock = true
+				break
+			}
+		}
+		if deferredUnlock {
+			continue
+		}
+		// The next plain unlock of the same receiver bounds the
+		// critical section; a return inside it leaks the lock.
+		end := token.Pos(-1)
+		for _, u := range events[i+1:] {
+			if u.unlock && !u.deferred && u.recv == e.recv {
+				end = u.pos
+				break
+			}
+		}
+		for _, r := range events[i+1:] {
+			if !r.ret {
+				continue
+			}
+			if end >= 0 && r.pos >= end {
+				break
+			}
+			p.Reportf(r.pos, "return while %s is locked (locked at line %d, no deferred unlock)",
+				e.recv, p.Pkg.Fset.Position(e.pos).Line)
+		}
+		if end < 0 {
+			p.Reportf(e.pos, "%s is locked but never unlocked in this function (and no deferred unlock)", e.recv)
+		}
+	}
+}
+
+// checkMutexByValue flags receivers and parameters whose value type
+// contains a mutex.
+func checkMutexByValue(p *Pass, fd *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, kind string) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			t := p.Pkg.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMutex(t, 0) {
+				p.Reportf(f.Pos(), "%s of %s passes a struct containing a sync mutex by value; pass a pointer so the lock is shared", kind, fd.Name.Name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+	}
+}
+
+// isMutexExpr reports whether e has (or points to) a sync.Mutex,
+// sync.RWMutex, or sync.Locker type.
+func isMutexExpr(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isSyncMutexType(t)
+}
+
+func isSyncMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsMutex reports whether t embeds a sync mutex by value,
+// directly or through nested structs/arrays.
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if isSyncMutexType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// exprText renders an expression canonically for receiver matching.
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,62 @@
+// Package lockcheck exercises the mutex-hygiene analyzer.
+package lockcheck
+
+import "sync"
+
+// Guarded is a struct whose mutex must never be copied.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func EarlyReturn(g *Guarded, fail bool) int {
+	g.mu.Lock()
+	if fail {
+		return -1 // want `return while g\.mu is locked`
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func NeverUnlocked(g *Guarded) {
+	g.mu.Lock() // want `locked but never unlocked`
+	g.n++
+}
+
+func Deferred(g *Guarded, fail bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return -1
+	}
+	return g.n
+}
+
+// CondStyle unlocks on the early path before returning, the pattern
+// the simulator's rendezvous code uses; it must not be flagged.
+func CondStyle(g *Guarded, fail bool) int {
+	g.mu.Lock()
+	if fail {
+		g.mu.Unlock()
+		return -1
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func ByValue(g Guarded) int { // want `parameter of ByValue passes a struct containing a sync mutex by value`
+	return g.n
+}
+
+func (g Guarded) Racy() int { // want `receiver of Racy passes a struct containing a sync mutex by value`
+	return g.n
+}
+
+func ByPointer(g *Guarded) int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}

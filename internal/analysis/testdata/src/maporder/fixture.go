@@ -1,0 +1,62 @@
+// Package maporder exercises the map-iteration-order analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func FloatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates into a float`
+		sum += v
+	}
+	return sum
+}
+
+func AppendValues(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want `appends map values`
+		out = append(out, v)
+	}
+	return out
+}
+
+func PrintLoop(m map[string]int) {
+	for k, v := range m { // want `calls Println`
+		fmt.Println(k, v)
+	}
+}
+
+// SortedKeys is the sanctioned idiom: collect the keys, sort them,
+// then do the order-sensitive work over the sorted slice.
+func SortedKeys(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// IntCount is order-independent: integer addition commutes exactly.
+func IntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// CopyMap is order-independent: distinct keys land in distinct slots.
+func CopyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

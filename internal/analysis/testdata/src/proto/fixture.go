@@ -1,0 +1,25 @@
+// Package proto exercises the errdrop analyzer: its directory base
+// name makes the analyzer treat it like the real protocol package.
+package proto
+
+import "io"
+
+func Bad(w io.Writer, c io.Closer, data []byte) {
+	w.Write(data)   // want `error result from w\.Write is discarded`
+	defer c.Close() // want `error result of deferred call from c\.Close is discarded`
+}
+
+func Good(w io.Writer, c io.Closer, data []byte) error {
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_ = c.Close() // explicit, greppable discard: allowed
+	return nil
+}
+
+// NoError calls drop nothing.
+func NoError(n int) int { return n + 1 }
+
+func CallsNoError() {
+	NoError(1)
+}

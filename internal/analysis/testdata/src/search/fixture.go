@@ -1,0 +1,21 @@
+// Package search exercises the randsource analyzer: its directory
+// base name makes the analyzer treat it like the real search package.
+package search
+
+import "math/rand"
+
+func Bad(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return rand.Intn(n)                // want `rand\.Intn draws from the process-global source`
+}
+
+// Good draws from an injected, caller-seeded generator.
+func Good(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// NewSeeded builds the generator; the constructors are the approved
+// idiom and must not be flagged.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

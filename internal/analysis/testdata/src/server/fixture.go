@@ -1,0 +1,9 @@
+// Package server is the wallclock negative fixture: the protocol
+// packages legitimately deal in wall time through injectable clocks,
+// so the analyzer must stay silent here.
+package server
+
+import "time"
+
+// Now reads the wall clock, which is allowed in this package.
+func Now() time.Time { return time.Now() }

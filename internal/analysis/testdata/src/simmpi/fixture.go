@@ -1,0 +1,24 @@
+// Package simmpi is a wallclock fixture: its directory base name
+// makes the analyzer treat it like the real virtual-time package.
+package simmpi
+
+import "time"
+
+// Sink absorbs values so the fixture type-checks cleanly.
+var Sink any
+
+// Clock is an injected clock in the style the exempt packages use.
+type Clock func() time.Time
+
+func Bad() {
+	Sink = time.Now()              // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	Sink = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+	Sink = time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+func Good(clock Clock, virtual float64) {
+	Sink = clock()                // injected clock: allowed
+	Sink = time.Duration(virtual) // pure conversion: allowed
+	Sink = time.Unix(0, 0)        // pure constructor: allowed
+}

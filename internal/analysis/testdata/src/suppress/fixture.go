@@ -1,0 +1,19 @@
+// Package suppress exercises the //harmonyvet:ignore directive.
+package suppress
+
+import "fmt"
+
+// Suppressed: the justified directive above the loop covers the
+// finding.
+func Suppressed(m map[string]int) {
+	//harmonyvet:ignore maporder fixture: printing in arbitrary order is this helper's documented contract
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func Unsuppressed(m map[string]int) {
+	for k, v := range m { // want `calls Println`
+		fmt.Println(k, v)
+	}
+}

@@ -84,7 +84,9 @@ func (c *Client) connect() error {
 		return fmt.Errorf("client: %w", err)
 	}
 	if c.conn != nil {
-		c.conn.Close()
+		// Replacing a dead connection: its close error carries nothing
+		// the reconnect path can act on.
+		_ = c.conn.Close()
 	}
 	c.conn = proto.NewConn(nc)
 	return nil
@@ -218,11 +220,18 @@ func (c *Client) roundTrip(msg *proto.Message) (*proto.Message, error) {
 	return reply, nil
 }
 
-// try performs one send/receive exchange under the I/O deadline.
+// try performs one send/receive exchange under the I/O deadline. A
+// failure to arm the deadline (the connection is already dead) fails
+// the attempt immediately so roundTrip's reconnect path takes over,
+// instead of silently performing an unbounded exchange.
 func (c *Client) try(msg *proto.Message) (*proto.Message, error) {
 	if c.opts.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
-		defer c.conn.SetDeadline(time.Time{})
+		if err := c.conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+			return nil, fmt.Errorf("client: set deadline: %w", err)
+		}
+		// Disarming can only fail on an already-broken connection; the
+		// next exchange surfaces that on its own.
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
 	}
 	if err := c.conn.Send(msg); err != nil {
 		return nil, err

@@ -44,7 +44,9 @@ import (
 	"log"
 	"math"
 	"net"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -225,7 +227,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		// The listener was never served; nothing acts on its close
+		// error during a shutdown race.
+		_ = ln.Close()
 		return nil
 	}
 	s.ln = ln
@@ -268,8 +272,9 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	//harmonyvet:ignore maporder connection teardown is order-independent: closing live conns in any order only unblocks their handlers, and the reported error is the listener's
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // best-effort teardown; the listener close error is the one reported
 	}
 	s.mu.Unlock()
 	var err error
@@ -282,7 +287,8 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
-		conn.Close()
+		// The peer may already have hung up; the handler exits either way.
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -339,7 +345,8 @@ func (s *Server) sweepExpired() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for id, ss := range s.sessions {
+	for _, id := range sortedSessionIDs(s.sessions) {
+		ss := s.sessions[id]
 		ss.mu.Lock()
 		idle := now.Sub(ss.lastActive)
 		ss.mu.Unlock()
@@ -353,6 +360,26 @@ func (s *Server) sweepExpired() int {
 	return n
 }
 
+// sortedSessionIDs returns the ids of the session table in
+// registration order ("s9" before "s10"), so sweeps and expiry logs
+// visit sessions deterministically rather than in map order. The
+// caller holds s.mu.
+func sortedSessionIDs(sessions map[string]*session) []string {
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, aerr := strconv.Atoi(strings.TrimPrefix(ids[i], "s"))
+		b, berr := strconv.Atoi(strings.TrimPrefix(ids[j], "s"))
+		if aerr == nil && berr == nil && a != b {
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
 // ExpireNow applies lease and straggler deadlines immediately and
 // returns the number of sessions garbage-collected. Deadlines are
 // otherwise applied lazily when a message for the session arrives;
@@ -363,8 +390,8 @@ func (s *Server) ExpireNow() int {
 	n := s.sweepExpired()
 	s.mu.Lock()
 	live := make([]*session, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		live = append(live, ss)
+	for _, id := range sortedSessionIDs(s.sessions) {
+		live = append(live, s.sessions[id])
 	}
 	s.mu.Unlock()
 	for _, ss := range live {
@@ -537,7 +564,16 @@ func (ss *session) expireRoundLocked(now time.Time) {
 	if r == nil {
 		return
 	}
-	for tag, iss := range r.tags {
+	// Visit outstanding tags in issue order, not map order: re-issue
+	// and forfeit decisions feed the strategy and the counters, and
+	// the message schedule they induce must not vary run to run.
+	tags := make([]int, 0, len(r.tags))
+	for tag := range r.tags {
+		tags = append(tags, tag)
+	}
+	sort.Ints(tags)
+	for _, tag := range tags {
+		iss := r.tags[tag]
 		if now.Sub(iss.issued) < ss.reportTimeout {
 			continue
 		}

@@ -252,6 +252,7 @@ func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
 	}()
 	select {
 	case <-done:
+	//harmonyvet:ignore wallclock real-time watchdog for application deadlocks; it aborts the world but never feeds a virtual clock
 	case <-time.After(60 * time.Second):
 		errMu.Lock()
 		if firstErr == nil {
