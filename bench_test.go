@@ -314,6 +314,76 @@ func BenchmarkSimplexProposals(b *testing.B) {
 	}
 }
 
+// BenchmarkSimMPIPingPong measures one message round trip between two
+// ranks: the tightest Send/Recv dependency chain, where every receive
+// forces a scheduler handoff. The payload is handed back and forth
+// with SendOwned, so the steady state allocates nothing.
+func BenchmarkSimMPIPingPong(b *testing.B) {
+	m := cluster.Seaborg(1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := simmpi.Run(m, 2, func(r *simmpi.Rank) {
+		buf := []float64{1}
+		for i := 0; i < b.N; i++ {
+			if r.ID() == 0 {
+				r.SendOwned(1, 0, buf)
+				buf = r.Recv(1, 1)
+			} else {
+				buf = r.Recv(0, 0)
+				r.SendOwned(0, 1, buf)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimMPIContextSwitch passes a token around a ring: a deep
+// Send/Recv chain where every rank blocks on its predecessor, so one
+// lap costs about one scheduler handoff per rank. The per-op number
+// is the raw cost of parking one rank and resuming the next.
+func BenchmarkSimMPIContextSwitch(b *testing.B) {
+	for _, n := range []int{32, 128, 480} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			m := cluster.Seaborg((n+15)/16, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			_, err := simmpi.Run(m, n, func(r *simmpi.Rank) {
+				next := (r.ID() + 1) % r.Size()
+				prev := (r.ID() + r.Size() - 1) % r.Size()
+				for i := 0; i < b.N; i++ {
+					if r.ID() == 0 {
+						r.SendBytes(next, 0, 8)
+						r.Recv(prev, 0)
+					} else {
+						r.Recv(prev, 0)
+						r.SendBytes(next, 0, 8)
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSimMPIRunOverhead measures a whole Run of a trivial
+// program on a pooled steady-state world: goroutine spawn, schedule,
+// and stats assembly — the fixed cost every evaluation pays before
+// any simulated work happens.
+func BenchmarkSimMPIRunOverhead(b *testing.B) {
+	m := cluster.Seaborg(8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simmpi.Run(m, 32, func(r *simmpi.Rank) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimMPIAllreduce measures the virtual-time allreduce.
 func BenchmarkSimMPIAllreduce(b *testing.B) {
 	m := cluster.Seaborg(4, 8)

@@ -17,6 +17,19 @@ func Bad() {
 	Sink = time.After(time.Second) // want `time\.After reads the wall clock`
 }
 
+// Watchdog is the shape the real package's deadlock watchdog had
+// before the cooperative scheduler made detection structural: a
+// select racing completion against a wall-clock timer. The pattern
+// carried a //harmonyvet:ignore suppression then; now it must be
+// flagged so the watchdog cannot quietly return.
+func Watchdog(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second): // want `time\.After reads the wall clock`
+		panic("simmpi: deadlock watchdog fired")
+	}
+}
+
 func Good(clock Clock, virtual float64) {
 	Sink = clock()                // injected clock: allowed
 	Sink = time.Duration(virtual) // pure conversion: allowed

@@ -93,6 +93,13 @@ type roundItem struct {
 // must be safe for concurrent calls when Workers > 1; each call
 // receives a per-evaluation context that is cancelled when its result
 // can no longer matter.
+//
+// Objectives that launch simmpi worlds scale gracefully here: the
+// substrate's cooperative scheduler keeps exactly one rank runnable
+// per world, so Workers concurrent evaluations of an n-rank
+// application put ~Workers goroutines in front of the Go scheduler,
+// not Workers×n — worker counts can track cores even for 480-rank
+// simulations.
 func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
 	workers := opt.Workers
 	if workers < 1 {

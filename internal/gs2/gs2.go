@@ -94,14 +94,15 @@ func chunkOf(n, p, i int) int { return (i+1)*n/p - i*n/p }
 
 // redist is a frozen redistribution plan: the move matrix, per-rank
 // sent/received element totals for the pack/unpack charge, and the
-// per-rank exchange byte maps at the plan's volume fraction,
-// precomputed so the steady-state exchange allocates nothing.
+// per-rank exchange byte rows at the plan's volume fraction,
+// precomputed dense so the steady-state exchange allocates nothing
+// and never touches a map.
 type redist struct {
 	mat         [][]int
 	sent, recvd []int
 	totalMoved  int
 	fraction    float64
-	sendBytes   []map[int]int
+	sendBytes   [][]int // dense: sendBytes[src][dst]
 }
 
 func newRedist(mat [][]int, fraction float64) *redist {
@@ -114,15 +115,15 @@ func newRedist(mat [][]int, fraction float64) *redist {
 			r.totalMoved += v
 		}
 	}
-	r.sendBytes = make([]map[int]int, p)
+	r.sendBytes = make([][]int, p)
 	for i := 0; i < p; i++ {
-		m := make(map[int]int)
+		row := make([]int, p)
 		for dst, elems := range mat[i] {
 			if elems > 0 {
-				m[dst] = int(float64(elems) * 8 * elemWeight * fraction)
+				row[dst] = int(float64(elems) * 8 * elemWeight * fraction)
 			}
 		}
-		r.sendBytes[i] = m
+		r.sendBytes[i] = row
 	}
 	return r
 }
@@ -268,7 +269,7 @@ func redistribute(r *simmpi.Rank, rd *redist, id int) {
 		return
 	}
 	r.Compute(float64(rd.sent[id]) * elemWeight * packFlops * rd.fraction)
-	r.AlltoallvBytes(rd.sendBytes[id])
+	r.AlltoallvBytesRow(rd.sendBytes[id])
 	r.Compute(float64(rd.recvd[id]) * elemWeight * packFlops * rd.fraction)
 }
 

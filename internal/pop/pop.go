@@ -97,6 +97,11 @@ type layout struct {
 	// neighborBytes[r] maps peer rank -> halo bytes per field per
 	// step in each direction.
 	neighborBytes []map[int]int
+	// peers[r] is neighborBytes[r]'s keys in increasing order, and
+	// peerBytes[r][i] the volume for peers[r][i]: the halo exchange
+	// loop iterates these instead of hashing into the map.
+	peers     [][]int
+	peerBytes [][]int
 	// points[r] is the number of grid points rank r owns.
 	points []int
 	// activeBlocks counts blocks that survived land elimination.
@@ -195,6 +200,17 @@ func (cfg Config) Layout(p int) (*layout, error) {
 				addEdge(north, r, 8*blk.w)
 			}
 		}
+	}
+	ly.peers = make([][]int, p)
+	ly.peerBytes = make([][]int, p)
+	for r := range ly.neighborBytes {
+		ps := sortedPeers(ly.neighborBytes[r])
+		vols := make([]int, len(ps))
+		for i, peer := range ps {
+			vols[i] = ly.neighborBytes[r][peer]
+		}
+		ly.peers[r] = ps
+		ly.peerBytes[r] = vols
 	}
 	return ly, nil
 }
@@ -342,14 +358,14 @@ func RunStats(m *cluster.Machine, cfg Config) (simmpi.Stats, error) {
 
 	return simmpi.Run(m, p, func(r *simmpi.Rank) {
 		id := r.ID()
-		peers := sortedPeers(ly.neighborBytes[id])
+		peers, vols := ly.peers[id], ly.peerBytes[id]
 		pts := float64(ly.points[id])
 		for step := 1; step <= cfg.Steps; step++ {
 			// Baroclinic phase: explicit stencil work scaled by the
 			// physics parameter choices, then a halo update.
 			r.Compute(pts * costs.baroclinicFlopsPerPoint)
 			for x := 0; x < haloExchangesPerStep; x++ {
-				exchangeHalo(r, ly, peers, haloFields*levels, 2*step)
+				exchangeHalo(r, peers, vols, haloFields*levels, 2*step)
 			}
 			// Surface forcing interpolation.
 			r.Compute(pts * costs.forcingFlopsPerPoint)
@@ -357,7 +373,7 @@ func RunStats(m *cluster.Machine, cfg Config) (simmpi.Stats, error) {
 			// update and a global reduction per iteration.
 			for it := 0; it < cfg.BarotropicIters; it++ {
 				r.Compute(pts * costs.barotropicFlopsPerPoint)
-				exchangeHalo(r, ly, peers, 1, 2*step+1)
+				exchangeHalo(r, peers, vols, 1, 2*step+1)
 				r.Allreduce1(simmpi.Sum, pts)
 			}
 			// Global diagnostics, if enabled.
@@ -390,11 +406,11 @@ func sortedPeers(nb map[int]int) []int {
 }
 
 // exchangeHalo sends the aggregated per-peer halo volume and receives
-// the symmetric updates.
-func exchangeHalo(r *simmpi.Rank, ly *layout, peers []int, fields, tag int) {
-	nb := ly.neighborBytes[r.ID()]
-	for _, peer := range peers {
-		r.SendBytes(peer, tag, fields*nb[peer])
+// the symmetric updates. peers and vols are the layout's precomputed
+// sorted peer list and matching per-peer byte volumes.
+func exchangeHalo(r *simmpi.Rank, peers, vols []int, fields, tag int) {
+	for i, peer := range peers {
+		r.SendBytes(peer, tag, fields*vols[i])
 	}
 	for _, peer := range peers {
 		r.Recv(peer, tag)

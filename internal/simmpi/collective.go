@@ -2,25 +2,24 @@ package simmpi
 
 import (
 	"fmt"
-	"sync"
+	"math"
 )
 
-// collective is the generation-counted rendezvous behind all
-// collective operations. Every rank must call the same sequence of
-// collectives (SPMD discipline); a mismatch is detected and reported
-// as an application bug.
+// collective is the rendezvous behind all collective operations.
+// Every rank must call the same sequence of collectives (SPMD
+// discipline); a mismatch is detected and reported as an application
+// bug.
 //
-// The rendezvous state (arrivals, inputs, exits, outputs, and the
-// scratch arrays below) is reused across every collective of a
-// world's lifetime — and, through the world pool, across runs — so a
-// steady-state collective performs no allocations beyond what the
-// semantics force (output vectors the callers keep).
+// Under the cooperative scheduler the rendezvous needs no lock: each
+// arriving rank records its input and parks; the last arrival runs
+// the combine, publishes per-rank exits and outputs, and marks the
+// parked ranks runnable before continuing with the token. A resumed
+// rank consumes its own slot before it can possibly arrive at the
+// next rendezvous, so the scratch below is safely reused for the
+// whole life of a world — and, through the world pool, across runs.
 type collective struct {
-	w    *World
-	mu   sync.Mutex
-	cond *sync.Cond
+	w *World
 
-	gen      uint64
 	arrived  int
 	op       string
 	arrivals []float64
@@ -35,9 +34,17 @@ type collective struct {
 	uOut  float64
 
 	// intOut carries per-rank integer results (AlltoallvBytes)
-	// without boxing; reads happen under mu before the next combine
-	// can run, so in-place reuse is safe.
+	// without boxing; each rank reads its slot on resume, before the
+	// next combine can run, so in-place reuse is safe.
 	intOut []int
+
+	// alltoallv send plans: one dense row per rank (send[dst] =
+	// bytes), filled by the arriving rank and consumed — and zeroed —
+	// by the combine, so the rows are clean for the next rendezvous.
+	// Dense rows keep the O(n²) combine loop free of map hashing.
+	// Rows are allocated on first use and live for the world's life.
+	a2aRows [][]int
+	a2aCnt  []int // nonzero entries per row
 
 	// alltoallv combine scratch.
 	recvBytes []int
@@ -47,7 +54,7 @@ type collective struct {
 }
 
 func newCollective(w *World) *collective {
-	c := &collective{
+	return &collective{
 		w:         w,
 		arrivals:  make([]float64, w.n),
 		inputs:    make([]any, w.n),
@@ -55,20 +62,19 @@ func newCollective(w *World) *collective {
 		outputs:   make([]any, w.n),
 		f64in:     make([]float64, w.n),
 		intOut:    make([]int, w.n),
+		a2aRows:   make([][]int, w.n),
+		a2aCnt:    make([]int, w.n),
 		recvBytes: make([]int, w.n),
 		recvTime:  make([]float64, w.n),
 		sendTime:  make([]float64, w.n),
 		msgs:      make([]int, w.n),
 	}
-	c.cond = sync.NewCond(&c.mu)
-	return c
 }
 
 // reset restores a pooled collective to its initial state. inputs are
 // already nil (cleared at each combine); outputs are dropped so a
 // pooled world retains no caller data.
 func (c *collective) reset() {
-	c.gen = 0
 	c.arrived = 0
 	c.op = ""
 	for i := range c.outputs {
@@ -81,50 +87,34 @@ func (c *collective) reset() {
 // clocks, writing them into exits and outputs in place.
 type combineFunc func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any)
 
-// arrive records rank r's arrival and returns the generation to wait
-// on. Callers hold c.mu.
-func (c *collective) arriveLocked(r *Rank, op string) uint64 {
-	if c.w.isAborted() {
-		c.mu.Unlock()
-		panic(errAborted)
-	}
+// arrive records rank r's arrival at the current rendezvous.
+func (c *collective) arrive(r *Rank, op string) {
 	if c.arrived == 0 {
 		c.op = op
 	} else if c.op != op {
-		c.mu.Unlock()
 		panic(fmt.Sprintf("simmpi: collective mismatch: rank %d calls %s while %s in progress", r.id, op, c.op))
 	}
 	c.arrivals[r.id] = r.clock
 	c.arrived++
-	return c.gen
 }
 
-// completeLocked runs combine guarded against application panics,
-// retires the generation, and wakes the waiters. Callers hold c.mu.
-func (c *collective) completeLocked(combine func() any) {
-	// combine may detect an application bug (mismatched vector
-	// lengths, say) and panic; release the lock first so the abort
-	// path can wake the other ranks instead of deadlocking.
+// complete runs combine (converting an application-bug panic into a
+// clean re-panic after the scratch is consistent), retires the
+// rendezvous, and marks every parked participant runnable. The
+// completing rank keeps the execution token.
+func (c *collective) complete(combine func() any) {
 	if err := combine(); err != nil {
-		c.mu.Unlock()
 		panic(err)
 	}
 	for i := range c.inputs {
 		c.inputs[i] = nil
 	}
 	c.arrived = 0
-	c.gen++
-	c.cond.Broadcast()
-}
-
-// waitLocked blocks rank r until generation g is retired.
-func (c *collective) waitLocked(g uint64) {
-	for c.gen == g {
-		if c.w.isAborted() {
-			c.mu.Unlock()
-			panic(errAborted)
+	s := c.w.sched
+	for i, st := range s.state {
+		if st == stateBlocked && s.wait[i].kind == waitColl {
+			s.unblock(i)
 		}
-		c.cond.Wait()
 	}
 }
 
@@ -137,20 +127,18 @@ func guard(fn func()) (err any) {
 
 // rendezvous runs one collective operation for rank r.
 func (c *collective) rendezvous(r *Rank, op string, input any, combine combineFunc) any {
-	c.mu.Lock()
-	g := c.arriveLocked(r, op)
+	c.arrive(r, op)
 	c.inputs[r.id] = input
 	if c.arrived == c.w.n {
-		c.completeLocked(func() any {
+		c.complete(func() any {
 			return guard(func() { combine(c.w, c.arrivals, c.inputs, c.exits, c.outputs) })
 		})
 	} else {
-		c.waitLocked(g)
+		c.w.sched.block(r.id, waitRecord{kind: waitColl, op: op})
 	}
 	exit := c.exits[r.id]
 	out := c.outputs[r.id]
 	c.outputs[r.id] = nil
-	c.mu.Unlock()
 
 	if exit > r.clock {
 		r.wait += exit - r.clock
@@ -163,24 +151,69 @@ func (c *collective) rendezvous(r *Rank, op string, input any, combine combineFu
 // rank and whose result (value and exit clock) is uniform across
 // ranks: the boxing-free path behind Allreduce1.
 func (c *collective) scalarRendezvous(r *Rank, op string, x float64, combine func(w *World, arrivals, inputs []float64) (exit, out float64)) float64 {
-	c.mu.Lock()
-	g := c.arriveLocked(r, op)
+	c.arrive(r, op)
 	c.f64in[r.id] = x
 	if c.arrived == c.w.n {
-		c.completeLocked(func() any {
+		c.complete(func() any {
 			return guard(func() { c.uExit, c.uOut = combine(c.w, c.arrivals, c.f64in) })
 		})
 	} else {
-		c.waitLocked(g)
+		c.w.sched.block(r.id, waitRecord{kind: waitColl, op: op})
 	}
 	exit, out := c.uExit, c.uOut
-	c.mu.Unlock()
 
 	if exit > r.clock {
 		r.wait += exit - r.clock
 		r.clock = exit
 	}
 	return out
+}
+
+// combineInto folds v into acc elementwise. The operator switch is
+// hoisted out of the element loop: one branch per call, not per
+// element. Max/Min go through math.Max/math.Min so NaN and signed-
+// zero handling stay bit-identical to the historical per-element
+// Op.apply path.
+func combineInto(op Op, acc, v []float64) {
+	switch op {
+	case Sum:
+		for j, x := range v {
+			acc[j] += x
+		}
+	case Max:
+		for j, x := range v {
+			acc[j] = math.Max(acc[j], x)
+		}
+	case Min:
+		for j, x := range v {
+			acc[j] = math.Min(acc[j], x)
+		}
+	default:
+		panic(fmt.Sprintf("simmpi: unknown op %d", int(op)))
+	}
+}
+
+// combineScalars folds xs under op with the same per-call operator
+// hoisting and the same fold order (rank 0 upwards) as combineInto.
+func combineScalars(op Op, xs []float64) float64 {
+	acc := xs[0]
+	switch op {
+	case Sum:
+		for _, x := range xs[1:] {
+			acc += x
+		}
+	case Max:
+		for _, x := range xs[1:] {
+			acc = math.Max(acc, x)
+		}
+	case Min:
+		for _, x := range xs[1:] {
+			acc = math.Min(acc, x)
+		}
+	default:
+		panic(fmt.Sprintf("simmpi: unknown op %d", int(op)))
+	}
+	return acc
 }
 
 func maxOf(xs []float64) float64 {
@@ -229,14 +262,10 @@ func (r *Rank) Allreduce(op Op, vec []float64) []float64 {
 				if len(v) != len(acc) {
 					panic(fmt.Sprintf("simmpi: allreduce length mismatch: rank 0 has %d, rank %d has %d", len(acc), i, len(v)))
 				}
-				for j := range acc {
-					acc[j] = op.apply(acc[j], v[j])
-				}
+				combineInto(op, acc, v)
 			}
 			t := maxOf(arrivals) + w.treeCost(8*len(acc))
-			w.mu.Lock()
-			w.bytesSent += int64(8 * len(acc) * int(log2ceil(w.n)))
-			w.mu.Unlock()
+			w.collBytes += int64(8 * len(acc) * int(log2ceil(w.n)))
 			for i := range outputs {
 				outputs[i] = append([]float64(nil), acc...)
 			}
@@ -253,14 +282,9 @@ func (r *Rank) Allreduce(op Op, vec []float64) []float64 {
 func (r *Rank) Allreduce1(op Op, x float64) float64 {
 	return r.world.coll.scalarRendezvous(r, "allreduce1", x,
 		func(w *World, arrivals, inputs []float64) (float64, float64) {
-			acc := inputs[0]
-			for i := 1; i < w.n; i++ {
-				acc = op.apply(acc, inputs[i])
-			}
+			acc := combineScalars(op, inputs)
 			t := maxOf(arrivals) + w.treeCost(8)
-			w.mu.Lock()
-			w.bytesSent += int64(8 * int(log2ceil(w.n)))
-			w.mu.Unlock()
+			w.collBytes += int64(8 * int(log2ceil(w.n)))
 			return t, acc
 		})
 }
@@ -276,9 +300,7 @@ func (r *Rank) Bcast(root int, vec []float64) []float64 {
 		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
 			data, _ := inputs[root].([]float64)
 			t := maxOf(arrivals) + w.treeCost(8*len(data))
-			w.mu.Lock()
-			w.bytesSent += int64(8 * len(data) * int(log2ceil(w.n)))
-			w.mu.Unlock()
+			w.collBytes += int64(8 * len(data) * int(log2ceil(w.n)))
 			for i := range outputs {
 				outputs[i] = append([]float64(nil), data...)
 			}
@@ -305,9 +327,7 @@ func (r *Rank) Gather(root int, vec []float64) [][]float64 {
 				}
 			}
 			tRoot := maxOf(arrivals) + l.Latency + float64(bytes)/l.Bandwidth
-			w.mu.Lock()
-			w.bytesSent += int64(bytes)
-			w.mu.Unlock()
+			w.collBytes += int64(bytes)
 			for i := range exits {
 				if i == root {
 					exits[i] = tRoot
@@ -322,6 +342,18 @@ func (r *Rank) Gather(root int, vec []float64) [][]float64 {
 	return out.([][]float64)
 }
 
+// a2aRow returns rank id's dense send row, allocating it on first
+// use. Rows are always zero between rendezvous (the combine clears
+// every entry it reads), so callers only write the slots they send.
+func (c *collective) a2aRow(id int) []int {
+	row := c.a2aRows[id]
+	if row == nil {
+		row = make([]int, c.w.n)
+		c.a2aRows[id] = row
+	}
+	return row
+}
+
 // AlltoallvBytes performs a personalised all-to-all where each rank
 // declares only the number of bytes it sends to every other rank
 // (sendBytes[dst]; entries for self or missing ranks are ignored).
@@ -330,7 +362,9 @@ func (r *Rank) Gather(root int, vec []float64) [][]float64 {
 // the mechanism that makes data-layout choices in GS2 and block
 // mappings in POP visible as communication time.
 func (r *Rank) AlltoallvBytes(sendBytes map[int]int) int {
-	in := make(map[int]int, len(sendBytes))
+	c := r.world.coll
+	row := c.a2aRow(r.id)
+	cnt := 0
 	for dst, b := range sendBytes {
 		if dst < 0 || dst >= r.world.n {
 			panic(fmt.Sprintf("simmpi: alltoallv to invalid rank %d", dst))
@@ -339,69 +373,108 @@ func (r *Rank) AlltoallvBytes(sendBytes map[int]int) int {
 			panic(fmt.Sprintf("simmpi: alltoallv negative size %d", b))
 		}
 		if dst != r.id && b > 0 {
-			in[dst] = b
+			row[dst] = b
+			cnt++
 		}
 	}
-	out := r.world.coll.rendezvous(r, "alltoallv", in,
-		func(w *World, arrivals []float64, inputs []any, exits []float64, outputs []any) {
-			c := w.coll
-			base := maxOf(arrivals)
-			lat := w.worstLink().Latency * log2ceil(w.n)
-			overhead := w.worstLink().Overhead
-			var total int64
-			var interNode float64
-			recvBytes := c.recvBytes
-			recvTime := c.recvTime
-			sendTime := c.sendTime
-			msgs := c.msgs // messages touched per rank
-			for i := 0; i < w.n; i++ {
-				recvBytes[i], recvTime[i], sendTime[i], msgs[i] = 0, 0, 0, 0
-			}
-			// Destinations are visited in increasing rank order, never
-			// map order: per-rank float accumulation must not depend on
-			// hash-iteration order or repeated runs diverge bitwise.
-			for src := 0; src < w.n; src++ {
-				m := inputs[src].(map[int]int)
-				for dst := 0; dst < w.n && len(m) > 0; dst++ {
-					b, ok := m[dst]
-					if !ok {
-						continue
-					}
-					link := w.machine.LinkBetween(src, dst)
-					dt := float64(b) / link.Bandwidth
-					recvTime[dst] += dt
-					sendTime[src] += dt
-					recvBytes[dst] += b
-					msgs[src]++
-					msgs[dst]++
-					total += int64(b)
-					if !w.machine.SameNode(src, dst) {
-						interNode += float64(b)
-					}
-				}
-			}
-			// The switch's bisection caps aggregate inter-node flow:
-			// a dense exchange cannot finish before the fabric has
-			// carried it, regardless of per-rank parallelism.
-			congestion := interNode / w.machine.Bisection()
-			for i := range exits {
-				cost := recvTime[i]
-				if sendTime[i] > cost {
-					cost = sendTime[i]
-				}
-				if congestion > cost {
-					cost = congestion
-				}
-				exits[i] = base + lat + cost + float64(msgs[i])*overhead
-				c.intOut[i] = recvBytes[i]
-				outputs[i] = nil
-			}
-			w.mu.Lock()
-			w.bytesSent += total
-			w.mu.Unlock()
-		})
-	_ = out
+	c.a2aCnt[r.id] = cnt
+	return r.alltoallv()
+}
+
+// AlltoallvBytesRow is AlltoallvBytes taking a dense send row:
+// send[dst] is the byte count for destination dst, and len(send)
+// must equal Size() (self and zero entries are ignored). The row is
+// copied during the call and not retained. Simulators with frozen
+// exchange plans use it to keep the per-step exchange entirely free
+// of map traffic.
+func (r *Rank) AlltoallvBytesRow(send []int) int {
+	w := r.world
+	if len(send) != w.n {
+		panic(fmt.Sprintf("simmpi: alltoallv row has %d entries for %d ranks", len(send), w.n))
+	}
+	c := w.coll
+	row := c.a2aRow(r.id)
+	cnt := 0
+	for dst, b := range send {
+		if b < 0 {
+			panic(fmt.Sprintf("simmpi: alltoallv negative size %d", b))
+		}
+		if b > 0 && dst != r.id {
+			row[dst] = b
+			cnt++
+		}
+	}
+	c.a2aCnt[r.id] = cnt
+	return r.alltoallv()
+}
+
+func (r *Rank) alltoallv() int {
+	r.world.coll.rendezvous(r, "alltoallv", nil, alltoallvCombine)
 	return r.world.coll.intOut[r.id]
+}
+
+func alltoallvCombine(w *World, arrivals []float64, _ []any, exits []float64, outputs []any) {
+	c := w.coll
+	base := maxOf(arrivals)
+	lat := w.worstLink().Latency * log2ceil(w.n)
+	overhead := w.worstLink().Overhead
+	var total int64
+	var interNode float64
+	recvBytes := c.recvBytes
+	recvTime := c.recvTime
+	sendTime := c.sendTime
+	msgs := c.msgs // messages touched per rank
+	for i := 0; i < w.n; i++ {
+		recvBytes[i], recvTime[i], sendTime[i], msgs[i] = 0, 0, 0, 0
+	}
+	// Destinations are visited in increasing rank order: per-rank
+	// float accumulation must stay a pure function of rank numbering
+	// or repeated runs diverge bitwise. Each row entry is zeroed as
+	// it is consumed so the rows are clean for the next rendezvous.
+	for src := 0; src < w.n; src++ {
+		left := c.a2aCnt[src]
+		if left == 0 {
+			continue
+		}
+		c.a2aCnt[src] = 0
+		row := c.a2aRows[src]
+		for dst := 0; dst < w.n && left > 0; dst++ {
+			b := row[dst]
+			if b == 0 {
+				continue
+			}
+			row[dst] = 0
+			left--
+			link := w.machine.LinkBetween(src, dst)
+			dt := float64(b) / link.Bandwidth
+			recvTime[dst] += dt
+			sendTime[src] += dt
+			recvBytes[dst] += b
+			msgs[src]++
+			msgs[dst]++
+			total += int64(b)
+			if !w.machine.SameNode(src, dst) {
+				interNode += float64(b)
+			}
+		}
+	}
+	// The switch's bisection caps aggregate inter-node flow:
+	// a dense exchange cannot finish before the fabric has
+	// carried it, regardless of per-rank parallelism.
+	congestion := interNode / w.machine.Bisection()
+	for i := range exits {
+		cost := recvTime[i]
+		if sendTime[i] > cost {
+			cost = sendTime[i]
+		}
+		if congestion > cost {
+			cost = congestion
+		}
+		exits[i] = base + lat + cost + float64(msgs[i])*overhead
+		c.intOut[i] = recvBytes[i]
+		outputs[i] = nil
+	}
+	w.collBytes += total
 }
 
 // Reduce combines each rank's vector elementwise with op and delivers
@@ -421,13 +494,9 @@ func (r *Rank) Reduce(root int, op Op, vec []float64) []float64 {
 				if len(v) != len(acc) {
 					panic(fmt.Sprintf("simmpi: reduce length mismatch: rank 0 has %d, rank %d has %d", len(acc), i, len(v)))
 				}
-				for j := range acc {
-					acc[j] = op.apply(acc[j], v[j])
-				}
+				combineInto(op, acc, v)
 			}
-			w.mu.Lock()
-			w.bytesSent += int64(8 * len(acc) * int(log2ceil(w.n)))
-			w.mu.Unlock()
+			w.collBytes += int64(8 * len(acc) * int(log2ceil(w.n)))
 			tRoot := maxOf(arrivals) + w.treeCost(8*len(acc))
 			for i := range exits {
 				if i == root {

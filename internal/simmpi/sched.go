@@ -1,0 +1,241 @@
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// The cooperative run-to-block scheduler.
+//
+// Rank programs still execute as goroutines — so `func(r *Rank)` and
+// every application simulator are untouched — but exactly one rank
+// runs at a time. Every other rank is parked on its per-rank handoff
+// gate. A rank gives up the execution token only when it blocks
+// (Recv with no matching message, collective rendezvous before the
+// last arrival) or finishes; the token is then handed directly to the
+// lowest-numbered runnable rank. Sends never block and never yield.
+//
+// Because at most one rank executes at any instant and every handoff
+// goes through a channel (a happens-before edge), all scheduler and
+// world state — message queues, collective scratch, byte counters —
+// is accessed race-free without a single mutex. Determinism is
+// structural: the run order is a pure function of the rank programs,
+// not of the Go runtime's preemption decisions.
+//
+// Deadlock detection is free. The scheduler knows why every parked
+// rank is parked (its wait record); when a rank must give up the
+// token and no rank is runnable, the remaining live ranks can never
+// make progress, and Run returns immediately with an error naming
+// each blocked rank and the operation it is parked in. No wall-clock
+// watchdog is needed, so the simulation never reads real time.
+
+// rankState tracks where a rank is in the cooperative schedule.
+type rankState uint8
+
+const (
+	stateRunnable rankState = iota // parked, waiting for its turn
+	stateRunning                   // holds the execution token
+	stateBlocked                   // parked on a wait record
+	stateDone                      // program returned
+)
+
+// waitKind says what a blocked rank is parked on.
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitRecv          // blocked in Recv(src, tag)
+	waitColl          // blocked in a collective rendezvous
+)
+
+// waitRecord describes why a rank is blocked, both for wakeup
+// matching and for naming the operation in a deadlock report.
+type waitRecord struct {
+	kind     waitKind
+	src, tag int    // waitRecv: the (source, tag) stream awaited
+	op       string // waitColl: the collective's name
+}
+
+// sched is the per-world scheduler state. It is only ever touched by
+// the single running rank (or by the driver goroutine before the
+// first handoff and after the last), so none of it is locked.
+type sched struct {
+	gates []chan struct{} // per-rank handoff token, capacity 1
+	state []rankState
+	wait  []waitRecord
+	ready []uint64 // bitset of runnable ranks
+	live  int      // ranks whose program has not returned
+
+	// aborted is set before the final resume broadcast; parked ranks
+	// observe it through the gate's happens-before edge and unwind.
+	aborted bool
+	// err is the first failure (panic or deadlock). Written by the
+	// running rank, read by the driver after the WaitGroup settles.
+	err error
+}
+
+func newSched(n int) *sched {
+	s := &sched{
+		gates: make([]chan struct{}, n),
+		state: make([]rankState, n),
+		wait:  make([]waitRecord, n),
+		ready: make([]uint64, (n+63)/64),
+	}
+	for i := range s.gates {
+		s.gates[i] = make(chan struct{}, 1)
+	}
+	s.reset()
+	return s
+}
+
+// reset prepares the scheduler for a fresh run: every rank runnable,
+// nothing blocked, no error. Gates are empty by construction — a
+// cleanly completed run consumes every token it sends.
+func (s *sched) reset() {
+	n := len(s.state)
+	for i := 0; i < n; i++ {
+		s.state[i] = stateRunnable
+		s.wait[i] = waitRecord{}
+		s.markReady(i)
+	}
+	s.live = n
+	s.aborted = false
+	s.err = nil
+}
+
+func (s *sched) markReady(i int) { s.ready[i>>6] |= 1 << (i & 63) }
+
+// popReady removes and returns the lowest-numbered runnable rank.
+func (s *sched) popReady() (int, bool) {
+	for w, word := range s.ready {
+		if word != 0 {
+			b := bits.TrailingZeros64(word)
+			s.ready[w] = word &^ (1 << b)
+			return w<<6 | b, true
+		}
+	}
+	return 0, false
+}
+
+// start hands the execution token to the first rank. Called once per
+// run by the driver goroutine, after the rank goroutines are spawned.
+func (s *sched) start() {
+	s.yieldToNext()
+}
+
+// park blocks the calling rank until it receives the execution token,
+// then marks it running. Resuming into an aborted world unwinds the
+// rank program via errAborted.
+func (s *sched) park(id int) {
+	<-s.gates[id]
+	if s.aborted {
+		panic(errAborted)
+	}
+	s.state[id] = stateRunning
+}
+
+// yieldToNext hands the token to the lowest runnable rank, reporting
+// whether one existed. The caller must already have recorded why it
+// is giving up the token (blocked or done) so that no state claims to
+// be running when the next rank wakes.
+func (s *sched) yieldToNext() bool {
+	next, ok := s.popReady()
+	if !ok {
+		return false
+	}
+	s.gates[next] <- struct{}{}
+	return true
+}
+
+// block parks rank id on wait record wr and hands the token to the
+// next runnable rank; it returns when a matching wakeup (message
+// arrival, collective completion) has made the rank runnable and its
+// turn has come. If no rank is runnable, every live rank is parked on
+// a wait record that nothing can satisfy: the world is deadlocked,
+// and it aborts immediately instead of hanging.
+func (s *sched) block(id int, wr waitRecord) {
+	s.wait[id] = wr
+	s.state[id] = stateBlocked
+	if !s.yieldToNext() {
+		err := s.deadlockError()
+		// Reclaim the token so abort skips this rank: it unwinds
+		// through the panic below rather than through park.
+		s.state[id] = stateRunning
+		s.fail(err)
+		panic(errAborted)
+	}
+	s.park(id)
+	s.wait[id] = waitRecord{}
+}
+
+// unblock moves a blocked rank back into the ready set. The rank
+// resumes when the current rank next gives up the token.
+func (s *sched) unblock(id int) {
+	s.state[id] = stateRunnable
+	s.wait[id] = waitRecord{}
+	s.markReady(id)
+}
+
+// finish retires rank id and passes the token on. When nothing is
+// runnable afterwards, either the run is complete (no live ranks) or
+// the remaining live ranks are parked forever — a deadlock.
+func (s *sched) finish(id int) {
+	s.state[id] = stateDone
+	s.live--
+	if s.yieldToNext() {
+		return
+	}
+	if s.live > 0 {
+		s.fail(s.deadlockError())
+	}
+}
+
+// fail records the first error and aborts the schedule.
+func (s *sched) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.abort()
+}
+
+// abort kills the schedule: every parked rank is resumed exactly once
+// and panics errAborted out of park. The caller is the single running
+// rank (or its panic handler), so no token is ever in flight here and
+// each parked gate receives exactly one.
+func (s *sched) abort() {
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	for i, st := range s.state {
+		if st == stateRunnable || st == stateBlocked {
+			s.gates[i] <- struct{}{}
+		}
+	}
+}
+
+// deadlockError names every blocked rank and the operation it is
+// parked in, e.g. "rank 1 blocked in Recv(src=0, tag=7)".
+func (s *sched) deadlockError() error {
+	var b strings.Builder
+	b.WriteString("simmpi: deadlock:")
+	sep := " "
+	for i, st := range s.state {
+		if st != stateBlocked {
+			continue
+		}
+		b.WriteString(sep)
+		sep = "; "
+		switch wr := s.wait[i]; wr.kind {
+		case waitRecv:
+			fmt.Fprintf(&b, "rank %d blocked in Recv(src=%d, tag=%d)", i, wr.src, wr.tag)
+		case waitColl:
+			fmt.Fprintf(&b, "rank %d blocked in %s", i, wr.op)
+		default:
+			fmt.Fprintf(&b, "rank %d blocked", i)
+		}
+	}
+	return errors.New(b.String())
+}

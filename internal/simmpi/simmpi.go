@@ -12,11 +12,18 @@
 // they would on a real cluster, while a 480-rank ocean-model step
 // simulates in milliseconds of wall-clock time.
 //
+// Execution is cooperative: a run-to-block scheduler (see sched.go)
+// runs exactly one rank at a time and hands off directly at blocking
+// points, so the simulation needs no mutexes, no condition variables,
+// and no wall-clock watchdog — an application deadlock is detected
+// structurally the moment no rank can run, and reported immediately.
+//
 // The simulation is conservative and deterministic: message matching
 // is by explicit (source, tag) with per-pair FIFO order, there is no
 // wildcard receive, and collective operations are program-ordered
 // rendezvous points. Deterministic rank programs therefore produce
-// bit-identical virtual timings across runs.
+// bit-identical virtual timings across runs — structurally, since
+// virtual clocks never depend on how the host interleaves ranks.
 package simmpi
 
 import (
@@ -24,7 +31,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"time"
 
 	"harmony/internal/cluster"
 )
@@ -38,19 +44,6 @@ const (
 	Max
 	Min
 )
-
-func (op Op) apply(a, b float64) float64 {
-	switch op {
-	case Sum:
-		return a + b
-	case Max:
-		return math.Max(a, b)
-	case Min:
-		return math.Min(a, b)
-	default:
-		panic(fmt.Sprintf("simmpi: unknown op %d", int(op)))
-	}
-}
 
 // Stats summarises one simulated run.
 type Stats struct {
@@ -90,8 +83,17 @@ func (s *Stats) LoadImbalance() float64 {
 
 var errAborted = errors.New("simmpi: world aborted")
 
-type msgKey struct {
-	src, tag int
+// streamKey identifies one (source, tag) message stream, packed into
+// a single word so queue lookups take the runtime's fast uint64 map
+// path instead of hashing a two-field struct. Tags must fit in int32
+// (negative tags included); 64-bit-only tag values would alias.
+type streamKey uint64
+
+func makeStreamKey(src, tag int) streamKey {
+	if tag != int(int32(tag)) {
+		panic(fmt.Sprintf("simmpi: tag %d overflows int32", tag))
+	}
+	return streamKey(uint32(src))<<32 | streamKey(uint32(tag))
 }
 
 type message struct {
@@ -101,30 +103,66 @@ type message struct {
 	link    cluster.Link
 }
 
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[msgKey][]*message
+// msgQueue is one (source, tag) FIFO stream. Popped slots keep their
+// backing array, so a steady-state stream enqueues without
+// allocating.
+type msgQueue struct {
+	buf  []*message
+	head int
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[msgKey][]*message)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+func (q *msgQueue) empty() bool { return q.head == len(q.buf) }
+
+func (q *msgQueue) push(m *message) { q.buf = append(q.buf, m) }
+
+func (q *msgQueue) pop() *message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
 }
 
-// World is one simulated job: a machine plus n ranks.
+// World is one simulated job: a machine plus n ranks. Only the
+// currently running rank touches a world's state — the cooperative
+// scheduler serialises all access, so nothing here is locked.
 type World struct {
 	machine *cluster.Machine
 	n       int
-	boxes   []*mailbox
+	queues  []map[streamKey]*msgQueue // per-destination (src, tag) streams
 	coll    *collective
+	sched   *sched
+	ranks   []Rank
 	poolKey worldPoolKey
 
-	mu        sync.Mutex
-	aborted   bool
-	bytesSent int64
-	messages  int64
+	// collBytes accumulates collective traffic estimates, charged by
+	// the rank that completes each rendezvous. Point-to-point volume
+	// lives in per-rank counters; Run merges both at completion.
+	collBytes int64
+	// msgFree recycles message envelopes within (and, via the world
+	// pool, across) runs.
+	msgFree []*message
+	// inflight counts messages pushed but not yet received, so reset
+	// can skip the stream-map sweep after a run that consumed
+	// everything it sent — the common case.
+	inflight int
+}
+
+func (w *World) newMessage() *message {
+	if k := len(w.msgFree); k > 0 {
+		m := w.msgFree[k-1]
+		w.msgFree = w.msgFree[:k-1]
+		return m
+	}
+	return new(message)
+}
+
+func (w *World) freeMessage(m *message) {
+	m.payload = nil
+	w.msgFree = append(w.msgFree, m)
 }
 
 // Rank is the handle a rank program uses for all simulated
@@ -136,6 +174,8 @@ type Rank struct {
 	clock float64
 	comp  float64
 	wait  float64
+	bytes int64 // point-to-point bytes sent by this rank
+	msgs  int64 // point-to-point messages sent by this rank
 }
 
 // ID returns the rank number in [0, Size).
@@ -152,10 +192,10 @@ func (r *Rank) Elapsed() float64 { return r.clock }
 
 // worldPools recycles idle Worlds per (machine fingerprint, rank
 // count): a tuning campaign re-running the same machine shape
-// thousands of times reuses one set of mailboxes and collective
-// scratch instead of rebuilding them every evaluation. Only worlds
-// that completed cleanly are pooled; aborted worlds (with blocked
-// ranks and poisoned mailboxes) are dropped.
+// thousands of times reuses one set of message queues, scheduler
+// gates, and collective scratch instead of rebuilding them every
+// evaluation. Only worlds that completed cleanly are pooled; aborted
+// worlds (with unwound ranks and poisoned queues) are dropped.
 var worldPools sync.Map // worldPoolKey -> *sync.Pool
 
 type worldPoolKey struct {
@@ -173,11 +213,14 @@ func acquireWorld(m *cluster.Machine, n int) *World {
 		}
 	}
 	w := &World{machine: m, n: n, poolKey: key}
-	w.boxes = make([]*mailbox, n)
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+	w.queues = make([]map[streamKey]*msgQueue, n)
+	for i := range w.queues {
+		w.queues[i] = make(map[streamKey]*msgQueue)
 	}
+	w.ranks = make([]Rank, n)
 	w.coll = newCollective(w)
+	w.sched = newSched(n)
+	w.reset(m)
 	return w
 }
 
@@ -191,25 +234,35 @@ func releaseWorld(w *World) {
 
 // reset returns a pooled world to its pristine state for machine m
 // (which must carry the fingerprint the world was pooled under).
+// Queue capacity and message envelopes are retained; messages a
+// completed program left unreceived go back to the free list.
 func (w *World) reset(m *cluster.Machine) {
 	w.machine = m
-	w.aborted = false
-	w.bytesSent = 0
-	w.messages = 0
-	for _, mb := range w.boxes {
-		if len(mb.queues) > 0 {
-			clear(mb.queues)
+	w.collBytes = 0
+	if w.inflight > 0 {
+		for i := range w.queues {
+			for _, q := range w.queues[i] {
+				for !q.empty() {
+					w.freeMessage(q.pop())
+				}
+			}
 		}
+		w.inflight = 0
+	}
+	for i := range w.ranks {
+		w.ranks[i] = Rank{world: w, id: i}
 	}
 	w.coll.reset()
+	w.sched.reset()
 }
 
 // Run executes body on n simulated ranks of machine m and returns the
 // job statistics. n must not exceed m.Procs(): ranks map to
 // processors node-major. A panic in any rank program aborts the whole
-// world and is returned as an error. If the simulation makes no
-// progress for 60 real seconds (an application deadlock, such as a
-// receive with no matching send), Run aborts and reports it.
+// world and is returned as an error. An application deadlock (a
+// receive with no matching send, a collective some rank never joins)
+// is detected the moment no rank can make progress and returned
+// immediately as an error naming the blocked ranks.
 func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
 	if err := m.Validate(); err != nil {
 		return Stats{}, err
@@ -218,65 +271,34 @@ func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
 		return Stats{}, fmt.Errorf("simmpi: %d ranks on %s (%d processors)", n, m, m.Procs())
 	}
 	w := acquireWorld(m, n)
+	s := w.sched
 
-	ranks := make([]*Rank, n)
 	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
+	wg.Add(n)
 	for i := 0; i < n; i++ {
-		ranks[i] = &Rank{world: w, id: i}
-		wg.Add(1)
-		go func(r *Rank) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					if err, ok := p.(error); ok && errors.Is(err, errAborted) {
-						return // secondary victim of an abort
-					}
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("simmpi: rank %d panicked: %v", r.id, p)
-					}
-					errMu.Unlock()
-					w.abort()
-				}
-			}()
-			body(r)
-		}(ranks[i])
+		// A plain function call, not a closure: spawning a rank
+		// allocates nothing beyond its goroutine.
+		go rankMain(&w.ranks[i], s, body, &wg)
 	}
-
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	//harmonyvet:ignore wallclock real-time watchdog for application deadlocks; it aborts the world but never feeds a virtual clock
-	case <-time.After(60 * time.Second):
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = errors.New("simmpi: no progress for 60s (application deadlock?)")
-		}
-		errMu.Unlock()
-		w.abort()
-		<-done
-	}
-	if firstErr != nil {
-		return Stats{}, firstErr
+	s.start()
+	wg.Wait()
+	if s.err != nil {
+		return Stats{}, s.err
 	}
 
 	st := Stats{
 		RankClocks:  make([]float64, n),
 		ComputeTime: make([]float64, n),
 		WaitTime:    make([]float64, n),
-		BytesSent:   w.bytesSent,
-		Messages:    w.messages,
+		BytesSent:   w.collBytes,
 	}
-	for i, r := range ranks {
+	for i := range w.ranks {
+		r := &w.ranks[i]
 		st.RankClocks[i] = r.clock
 		st.ComputeTime[i] = r.comp
 		st.WaitTime[i] = r.wait
+		st.BytesSent += r.bytes
+		st.Messages += r.msgs
 		if r.clock > st.Time {
 			st.Time = r.clock
 		}
@@ -285,26 +307,26 @@ func Run(m *cluster.Machine, n int, body func(r *Rank)) (Stats, error) {
 	return st, nil
 }
 
-// abort wakes every blocked rank; their pending operations panic with
-// errAborted, which the rank wrapper swallows.
-func (w *World) abort() {
-	w.mu.Lock()
-	w.aborted = true
-	w.mu.Unlock()
-	for _, mb := range w.boxes {
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-	}
-	w.coll.mu.Lock()
-	w.coll.cond.Broadcast()
-	w.coll.mu.Unlock()
-}
-
-func (w *World) isAborted() bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.aborted
+// rankMain is the goroutine body of one simulated rank: wait for the
+// first handoff, run the program, and either pass the token on
+// (finish) or — on a rank-program panic — record the failure and
+// unwind every parked rank.
+func rankMain(r *Rank, s *sched, body func(*Rank), wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			if err, ok := p.(error); ok && errors.Is(err, errAborted) {
+				return // resumed into a dead world
+			}
+			// This rank holds the token; record the failure and
+			// unwind every parked rank.
+			s.fail(fmt.Errorf("simmpi: rank %d panicked: %v", r.id, p))
+			return
+		}
+		s.finish(r.id)
+	}()
+	s.park(r.id)
+	body(r)
 }
 
 // Compute advances the rank's clock by the time needed to execute the
@@ -350,10 +372,6 @@ func (r *Rank) SendBytes(dst, tag, bytes int) {
 	r.send(dst, tag, nil, bytes)
 }
 
-// msgPool recycles message envelopes: the payload escapes to the
-// receiver but the envelope itself is returned on Recv.
-var msgPool = sync.Pool{New: func() any { return new(message) }}
-
 func (r *Rank) send(dst, tag int, payload []float64, bytes int) {
 	w := r.world
 	if dst < 0 || dst >= w.n {
@@ -367,48 +385,49 @@ func (r *Rank) send(dst, tag int, payload []float64, bytes int) {
 	}
 	link := w.machine.LinkBetween(r.id, dst)
 	r.clock += link.Overhead
-	m := msgPool.Get().(*message)
+	m := w.newMessage()
 	m.payload, m.bytes, m.depart, m.link = payload, bytes, r.clock, link
 
-	mb := w.boxes[dst]
-	mb.mu.Lock()
-	key := msgKey{src: r.id, tag: tag}
-	mb.queues[key] = append(mb.queues[key], m)
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
+	key := makeStreamKey(r.id, tag)
+	q := w.queues[dst][key]
+	if q == nil {
+		q = new(msgQueue)
+		w.queues[dst][key] = q
+	}
+	q.push(m)
+	w.inflight++
+	r.bytes += int64(bytes)
+	r.msgs++
 
-	w.mu.Lock()
-	w.bytesSent += int64(bytes)
-	w.messages++
-	w.mu.Unlock()
+	// Direct wakeup: a destination parked on exactly this (src, tag)
+	// stream becomes runnable. The send itself never yields — the
+	// sender keeps the token and continues.
+	s := w.sched
+	if s.state[dst] == stateBlocked {
+		if wr := &s.wait[dst]; wr.kind == waitRecv && wr.src == r.id && wr.tag == tag {
+			s.unblock(dst)
+		}
+	}
 }
 
 // Recv blocks until a message from src under tag is available,
 // advances the clock to the message arrival time, and returns the
-// payload (nil for SendBytes messages).
+// payload (nil for SendBytes messages). If the message was already
+// posted, Recv consumes it without giving up the execution token.
 func (r *Rank) Recv(src, tag int) []float64 {
 	w := r.world
 	if src < 0 || src >= w.n {
 		panic(fmt.Sprintf("simmpi: rank %d receives from invalid rank %d", r.id, src))
 	}
-	mb := w.boxes[r.id]
-	key := msgKey{src: src, tag: tag}
-	mb.mu.Lock()
-	for len(mb.queues[key]) == 0 {
-		if w.isAborted() {
-			mb.mu.Unlock()
-			panic(errAborted)
-		}
-		mb.cond.Wait()
+	key := makeStreamKey(src, tag)
+	q := w.queues[r.id][key]
+	if q == nil || q.empty() {
+		w.sched.block(r.id, waitRecord{kind: waitRecv, src: src, tag: tag})
+		// The matching send created the stream before unblocking us.
+		q = w.queues[r.id][key]
 	}
-	q := mb.queues[key]
-	m := q[0]
-	if len(q) == 1 {
-		delete(mb.queues, key)
-	} else {
-		mb.queues[key] = q[1:]
-	}
-	mb.mu.Unlock()
+	m := q.pop()
+	w.inflight--
 
 	arrival := m.depart + m.link.Latency + float64(m.bytes)/m.link.Bandwidth
 	if arrival > r.clock {
@@ -416,8 +435,7 @@ func (r *Rank) Recv(src, tag int) []float64 {
 		r.clock = arrival
 	}
 	payload := m.payload
-	m.payload = nil
-	msgPool.Put(m)
+	w.freeMessage(m)
 	return payload
 }
 
