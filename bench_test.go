@@ -494,3 +494,89 @@ func BenchmarkPROProposals(b *testing.B) {
 		s.Report(pt, d0*d0+d1*d1+d2*d2)
 	}
 }
+
+// BenchmarkDistMatVecWorkspace is BenchmarkDistMatVec through a held
+// workspace: steady-state operator application as the solvers drive
+// it. The allocation report is the tentpole's headline — 0 allocs/op
+// once the workspace and the world's payload free lists are warm.
+func BenchmarkDistMatVecWorkspace(b *testing.B) {
+	a := sparse.Poisson2D(100, 100)
+	part := sparse.EvenPartition(a.N, 8)
+	dm, err := sparse.NewDistMatrix(a, part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	m := cluster.Seaborg(8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err = simmpi.Run(m, 8, func(r *simmpi.Rank) {
+		ws := dm.AcquireWorkspace(r.ID())
+		defer dm.ReleaseWorkspace(r.ID(), ws)
+		xl := dm.Scatter(r.ID(), x)
+		for i := 0; i < b.N; i++ {
+			dm.MatVecInto(ws, r, 7, xl)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end campaign throughput
+// in evaluated configurations per second at several worker counts:
+// the number the whole PR optimises for, since a tuning session's
+// real-time cost is (configs needed) / (configs per second). Two
+// campaign shapes cover the two hot paths: the Fig. 2 PETSc
+// decomposition (sparse MatVec dominated, PRO search so workers get
+// parallel proposal batches) and the Table 3 GS2 resolution sweep
+// (dense-step simulation, simplex search).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	type campaign struct {
+		name string
+		run  func() (*core.Result, error)
+	}
+	fig2 := func(workers int) func() (*core.Result, error) {
+		app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
+		m := cluster.Seaborg(4, 1)
+		return func() (*core.Result, error) {
+			sp := app.Space()
+			return core.Tune(context.Background(), sp,
+				search.NewPRO(sp, search.PROOptions{Seed: 11}),
+				app.Objective(m), core.Options{MaxRuns: 40, Workers: workers})
+		}
+	}
+	table3 := func(workers int) func() (*core.Result, error) {
+		base := gs2.DefaultConfig()
+		base.Steps = 10
+		return func() (*core.Result, error) {
+			sp := gs2.ResolutionSpace(64)
+			return core.Tune(context.Background(), sp,
+				search.NewSimplex(sp, search.SimplexOptions{
+					Start: gs2.ResolutionStart(sp, 16, 26, 32), StepFraction: 0.5, Restarts: 12}),
+				gs2.ResolutionObjective(gs2.LinuxCluster, base), core.Options{MaxRuns: 35, Workers: workers})
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, c := range []campaign{
+			{name: "fig2", run: fig2(workers)},
+			{name: "table3", run: table3(workers)},
+		} {
+			c := c
+			b.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(b *testing.B) {
+				configs := 0
+				for i := 0; i < b.N; i++ {
+					res, err := c.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					configs += res.Runs
+				}
+				b.ReportMetric(float64(configs)/b.Elapsed().Seconds(), "configs/sec")
+			})
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package harmony_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/petscsim"
+	"harmony/internal/search"
+)
+
+// TestCampaignSteadyStateHeapCeiling pins the memory behaviour of a
+// warmed-up parallel campaign: with worlds pooled per machine and
+// MatVec workspaces pooled per DistMatrix rank, a steady-state
+// benchmarking run should cost no more than the solver's own
+// once-per-solve iteration vectors plus trial bookkeeping. The
+// ceiling is ~2x the measured steady state at the time the workspace
+// layer landed, so a regression that reintroduces per-iteration
+// allocation (each run is 40 CG iterations) trips it with a wide
+// margin before it reaches per-iteration scale.
+func TestCampaignSteadyStateHeapCeiling(t *testing.T) {
+	campaign := func() int {
+		app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
+		m := cluster.Seaborg(4, 1)
+		sp := app.Space()
+		res, err := core.Tune(context.Background(), sp,
+			search.NewPRO(sp, search.PROOptions{Seed: 11}),
+			app.Objective(m), core.Options{MaxRuns: 40, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runs
+	}
+
+	campaign() // warm the world pool, plan cache paths, and workspaces
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	runs := campaign()
+	runtime.ReadMemStats(&after)
+
+	perRun := (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
+	const ceiling = 400 << 10 // bytes per run; measured ~174KB at landing
+	t.Logf("steady-state campaign allocates %d bytes per run (%d runs)", perRun, runs)
+	if perRun > ceiling {
+		t.Errorf("steady-state campaign allocates %d bytes per run, ceiling %d", perRun, ceiling)
+	}
+}

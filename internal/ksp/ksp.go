@@ -33,6 +33,16 @@ type Result struct {
 // definite. Iteration stops when the residual norm falls below
 // rtol times the initial residual norm, or after maxIter iterations.
 func CG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
+	ws := a.AcquireWorkspace(r.ID())
+	defer a.ReleaseWorkspace(r.ID(), ws)
+	return CGWith(ws, r, a, b, rtol, maxIter)
+}
+
+// CGWith is CG running its operator applications through ws: every
+// iteration's MatVec reuses the workspace's staging and result
+// buffers, so the solver's hot loop allocates only its own iteration
+// vectors, once per solve.
+func CGWith(ws *sparse.Workspace, r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
 	const tag = 101
 	n := len(b)
 	x := make([]float64, n)
@@ -45,7 +55,7 @@ func CG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter
 	}
 	out := Result{}
 	for out.Iterations = 0; out.Iterations < maxIter; out.Iterations++ {
-		ap := a.MatVec(r, tag, p)
+		ap := a.MatVecInto(ws, r, tag, p)
 		pap := sparse.Dot(r, p, ap)
 		if pap == 0 {
 			break
@@ -75,20 +85,80 @@ func CG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter
 // its own simulation costs (communication and compute).
 type Apply func(x []float64) []float64
 
+// GMRESWorkspace holds the iteration vectors of a restarted GMRES
+// solve: the Krylov basis, the Hessenberg system, and the solution
+// and residual buffers. A zero GMRESWorkspace is ready to use;
+// GMRESWith sizes it on first use and keeps the capacity, so a
+// workspace held across calls — the inner solves of a Newton
+// iteration — allocates nothing in steady state.
+type GMRESWorkspace struct {
+	v      [][]float64
+	h      [][]float64
+	cs, sn []float64
+	g, y   []float64
+	x, res []float64
+}
+
+// ensure sizes the workspace for restart length m on n-vectors,
+// reallocating only what is too small. Contents are unspecified.
+func (ws *GMRESWorkspace) ensure(m, n int) {
+	if len(ws.v) < m+1 {
+		ws.v = append(ws.v, make([][]float64, m+1-len(ws.v))...)
+	}
+	for i := 0; i <= m; i++ {
+		ws.v[i] = growF(ws.v[i], n)
+	}
+	if len(ws.h) < m+1 {
+		ws.h = append(ws.h, make([][]float64, m+1-len(ws.h))...)
+	}
+	for i := 0; i <= m; i++ {
+		ws.h[i] = growF(ws.h[i], m)
+	}
+	ws.cs = growF(ws.cs, m)
+	ws.sn = growF(ws.sn, m)
+	ws.g = growF(ws.g, m+1)
+	ws.y = growF(ws.y, m)
+	ws.x = growF(ws.x, n)
+	ws.res = growF(ws.res, n)
+}
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // GMRES solves op(x) = b with restarted GMRES(m) from inside a
 // simulated rank, for general (non-symmetric) operators such as the
 // matrix-free Jacobian of the driven-cavity problem. The Hessenberg
 // least-squares problem is replicated on every rank from allreduced
-// inner products, so all ranks make identical decisions.
+// inner products, so all ranks make identical decisions. The returned
+// slice is freshly allocated; callers solving repeatedly should hold
+// a GMRESWorkspace and use GMRESWith.
 func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol float64) ([]float64, Result) {
+	var ws GMRESWorkspace
+	x, out := GMRESWith(&ws, r, op, b, restart, maxIter, rtol)
+	return append([]float64(nil), x...), out
+}
+
+// GMRESWith is GMRES keeping every iteration vector in ws. The
+// returned solution aliases ws's buffers and is valid until the next
+// GMRESWith on the same workspace. op may return a slice it reuses on
+// its next application: GMRES is done with the previous result before
+// applying op again.
+func GMRESWith(ws *GMRESWorkspace, r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol float64) ([]float64, Result) {
 	n := len(b)
-	x := make([]float64, n)
+	ws.ensure(restart, n)
+	x := ws.x
+	zero(x)
 	bnorm := math.Sqrt(sparse.Dot(r, b, b))
 	if bnorm == 0 {
 		return x, Result{Converged: true}
 	}
 	out := Result{}
-	res := append([]float64(nil), b...) // residual of x=0
+	res := ws.res
+	copy(res, b) // residual of x=0
 
 	for out.Iterations < maxIter {
 		beta := math.Sqrt(sparse.Dot(r, res, res))
@@ -99,15 +169,12 @@ func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol flo
 		}
 		// Arnoldi with modified Gram–Schmidt.
 		m := restart
-		v := make([][]float64, m+1)
-		v[0] = scale(res, 1/beta)
-		h := make([][]float64, m+1) // h[i][j], i row, j column
-		for i := range h {
-			h[i] = make([]float64, m)
-		}
-		cs := make([]float64, m)
-		sn := make([]float64, m)
-		g := make([]float64, m+1)
+		v := ws.v
+		scaleInto(v[0], res, 1/beta)
+		h := ws.h // h[i][j], i row, j column
+		cs := ws.cs
+		sn := ws.sn
+		g := ws.g
 		g[0] = beta
 
 		k := 0
@@ -120,9 +187,9 @@ func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol flo
 			}
 			h[k+1][k] = math.Sqrt(sparse.Dot(r, w, w))
 			if h[k+1][k] > 0 {
-				v[k+1] = scale(w, 1/h[k+1][k])
+				scaleInto(v[k+1], w, 1/h[k+1][k])
 			} else {
-				v[k+1] = make([]float64, n)
+				zero(v[k+1])
 			}
 			// Apply accumulated Givens rotations to the new column.
 			for i := 0; i < k; i++ {
@@ -144,8 +211,12 @@ func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol flo
 				break
 			}
 		}
-		// Back-substitute y from the k×k triangular system.
-		y := make([]float64, k)
+		// Back-substitute y from the k×k triangular system. The
+		// buffer is zeroed first: a singular pivot leaves its entry
+		// untouched, and a reused workspace must reproduce the
+		// fresh-allocation zero there.
+		y := ws.y[:k]
+		zero(y)
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {
@@ -177,12 +248,17 @@ func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol flo
 	return x, out
 }
 
-func scale(v []float64, a float64) []float64 {
-	out := make([]float64, len(v))
+// scaleInto writes a·v into dst (same length).
+func scaleInto(dst, v []float64, a float64) {
 	for i := range v {
-		out[i] = a * v[i]
+		dst[i] = a * v[i]
 	}
-	return out
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
 }
 
 func axpyLocal(r *simmpi.Rank, alpha float64, x, y []float64) {

@@ -14,25 +14,21 @@ import (
 // communication — which is why it is the default in many production
 // solvers and a natural "algorithm choice" tunable.
 func PCG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
+	ws := a.AcquireWorkspace(r.ID())
+	defer a.ReleaseWorkspace(r.ID(), ws)
+	return PCGWith(ws, r, a, b, rtol, maxIter)
+}
+
+// PCGWith is PCG running its operator applications through ws, like
+// CGWith: iteration vectors are allocated once per solve and every
+// MatVec reuses the workspace.
+func PCGWith(ws *sparse.Workspace, r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
 	const tag = 103
 	n := len(b)
-	// Local inverse diagonal.
-	lo := a.Part.Starts[r.ID()]
-	invDiag := make([]float64, n)
-	for i := 0; i < n; i++ {
-		row := lo + i
-		var d float64
-		for k := a.A.RowPtr[row]; k < a.A.RowPtr[row+1]; k++ {
-			if a.A.Col[k] == row {
-				d = a.A.Val[k]
-				break
-			}
-		}
-		if d == 0 {
-			d = 1
-		}
-		invDiag[i] = 1 / d
-	}
+	// Local inverse diagonal, read off the plan's precomputed
+	// diagonal offsets (shared with every other extraction site)
+	// instead of re-scanning each row's columns.
+	invDiag := a.InvDiagInto(r.ID(), nil)
 	r.Compute(sparse.VecFlops * float64(n))
 
 	x := make([]float64, n)
@@ -53,7 +49,7 @@ func PCG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIte
 	}
 	out := Result{}
 	for out.Iterations = 0; out.Iterations < maxIter; out.Iterations++ {
-		ap := a.MatVec(r, tag, p)
+		ap := a.MatVecInto(ws, r, tag, p)
 		pap := sparse.Dot(r, p, ap)
 		if pap == 0 {
 			break

@@ -142,8 +142,14 @@ func (app *SLESApp) RunStats(m *cluster.Machine, part sparse.Partition) (simmpi.
 		return simmpi.Stats{}, err
 	}
 	return simmpi.Run(m, app.P, func(r *simmpi.Rank) {
+		// The workspace is pooled on the DistMatrix: across the
+		// thousands of evaluations of a campaign (and across the
+		// concurrent worlds of parallel workers) each rank reuses the
+		// same staging and result buffers for every CG iteration.
+		ws := dm.AcquireWorkspace(r.ID())
 		bl := dm.Scatter(r.ID(), app.B)
-		ksp.CG(r, dm, bl, 0, app.Iterations) // fixed-work benchmarking run
+		ksp.CGWith(ws, r, dm, bl, 0, app.Iterations) // fixed-work benchmarking run
+		dm.ReleaseWorkspace(r.ID(), ws)
 	})
 }
 

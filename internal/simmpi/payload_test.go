@@ -1,0 +1,101 @@
+package simmpi
+
+import "testing"
+
+// TestAcquireReleaseBufRecycles checks the recycled-payload free
+// lists: a released buffer's backing array comes back from the next
+// acquisition in its capacity class, sized to the new request.
+func TestAcquireReleaseBufRecycles(t *testing.T) {
+	_, err := Run(testMachine(1, 2), 2, func(r *Rank) {
+		if r.ID() != 0 {
+			r.Recv(0, 1)
+			return
+		}
+		if got := r.AcquireBuf(0); got != nil {
+			t.Errorf("AcquireBuf(0) = %v, want nil", got)
+		}
+		r.ReleaseBuf(nil) // must be a no-op
+
+		buf := r.AcquireBuf(100)
+		if len(buf) != 100 || cap(buf) != 128 {
+			t.Fatalf("AcquireBuf(100): len=%d cap=%d, want len=100 cap=128", len(buf), cap(buf))
+		}
+		first := &buf[0]
+		r.ReleaseBuf(buf)
+
+		// Any request in (64, 128] must reuse the released array.
+		again := r.AcquireBuf(65)
+		if len(again) != 65 {
+			t.Fatalf("AcquireBuf(65): len=%d", len(again))
+		}
+		if &again[0] != first {
+			t.Error("AcquireBuf(65) after ReleaseBuf(cap 128) did not reuse the released array")
+		}
+
+		// A larger request must not see the released array: it would be
+		// too small.
+		r.ReleaseBuf(again)
+		big := r.AcquireBuf(129)
+		if &big[0] == first {
+			t.Error("AcquireBuf(129) reused a cap-128 array")
+		}
+
+		// Odd capacity (from a caller-made slice) lands in its floor
+		// bucket, so a same-bucket acquisition still fits.
+		r.ReleaseBuf(make([]float64, 0, 100)) // floor log2 100 = bucket 6: cap >= 64
+		odd := r.AcquireBuf(70)
+		if cap(odd) < 70 {
+			t.Errorf("AcquireBuf(70) returned cap %d < 70", cap(odd))
+		}
+
+		r.SendOwned(1, 1, r.AcquireBuf(8))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendOwnedRecvReleaseCycle checks the allocation-free payload
+// cycle end to end: sender acquires and ships, receiver reads and
+// donates back, and after one warm iteration the same arrays
+// circulate between the two ranks.
+func TestSendOwnedRecvReleaseCycle(t *testing.T) {
+	const iters = 5
+	sums := make([]float64, iters)
+	_, err := Run(testMachine(1, 2), 2, func(r *Rank) {
+		for it := 0; it < iters; it++ {
+			if r.ID() == 0 {
+				buf := r.AcquireBuf(16)
+				for i := range buf {
+					buf[i] = float64(it*16 + i)
+				}
+				r.SendOwned(1, 3, buf)
+				ack := r.Recv(1, 4)
+				sums[it] = ack[0]
+				r.ReleaseBuf(ack)
+			} else {
+				vals := r.Recv(0, 3)
+				var s float64
+				for _, v := range vals {
+					s += v
+				}
+				r.ReleaseBuf(vals)
+				ack := r.AcquireBuf(1)
+				ack[0] = s
+				r.SendOwned(0, 4, ack)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < iters; it++ {
+		want := 0.0
+		for i := 0; i < 16; i++ {
+			want += float64(it*16 + i)
+		}
+		if sums[it] != want {
+			t.Errorf("iteration %d: sum=%v, want %v", it, sums[it], want)
+		}
+	}
+}

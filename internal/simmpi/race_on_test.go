@@ -1,0 +1,5 @@
+//go:build race
+
+package simmpi
+
+const raceEnabled = true

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"harmony/internal/cluster"
@@ -145,6 +146,16 @@ type World struct {
 	// msgFree recycles message envelopes within (and, via the world
 	// pool, across) runs.
 	msgFree []*message
+	// payloadFree recycles payload buffers by power-of-two capacity
+	// class (bucket b holds buffers with cap >= 1<<b), so hot paths
+	// that ship freshly built payloads every iteration — halo
+	// exchanges inside solver loops — run allocation-free in steady
+	// state: the sender acquires a buffer, SendOwned hands it to the
+	// receiver, and the receiver donates it back after consuming the
+	// values. Only the running rank touches the free lists, so no
+	// locking is needed, and buffers survive across runs via the
+	// world pool.
+	payloadFree [28][][]float64
 	// inflight counts messages pushed but not yet received, so reset
 	// can skip the stream-map sweep after a run that consumed
 	// everything it sent — the common case.
@@ -363,6 +374,49 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 // the hot path use it to ship freshly built payloads allocation-free.
 func (r *Rank) SendOwned(dst, tag int, data []float64) {
 	r.send(dst, tag, data, 8*len(data))
+}
+
+// AcquireBuf returns a payload buffer of length n from the world's
+// recycled-payload free lists, allocating only when no recycled
+// buffer of sufficient capacity exists. Contents are unspecified: the
+// caller must overwrite every element before the values are read.
+// Intended for payloads built fresh every iteration and shipped with
+// SendOwned; the receiver donates them back with ReleaseBuf after
+// consuming the values, closing an allocation-free cycle.
+func (r *Rank) AcquireBuf(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n): bucket b holds cap >= 1<<b
+	if b >= len(r.world.payloadFree) {
+		return make([]float64, n)
+	}
+	free := &r.world.payloadFree[b]
+	if k := len(*free); k > 0 {
+		buf := (*free)[k-1]
+		(*free)[k-1] = nil
+		*free = (*free)[:k-1]
+		return buf[:n]
+	}
+	return make([]float64, n, 1<<b)
+}
+
+// ReleaseBuf donates buf to the world's recycled-payload free lists.
+// The caller must own buf exclusively — typically it is a payload
+// returned by Recv that the program will never reference again, or a
+// buffer from AcquireBuf that was never sent. Releasing a buffer that
+// is still referenced elsewhere corrupts a later acquirer.
+func (r *Rank) ReleaseBuf(buf []float64) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1 // floor(log2 cap): every entry keeps cap >= 1<<b
+	if b >= len(r.world.payloadFree) {
+		b = len(r.world.payloadFree) - 1
+	}
+	free := &r.world.payloadFree[b]
+	*free = append(*free, buf[:c])
 }
 
 // SendBytes posts a payload-free message of the given size: the

@@ -90,47 +90,65 @@ func Solve(r *simmpi.Rank, f Func, x0 []float64, opt Options) ([]float64, Result
 	norm := math.Sqrt(sparse.Dot(r, fx, fx))
 	norm0 := norm
 
+	// Per-solve scratch, reused across every Newton iteration: the
+	// Jacobian-action buffers (xp perturbed state, jvOut result), the
+	// Newton right-hand side, the line-search trial state, and the
+	// whole GMRES workspace (Krylov basis, Hessenberg system). The
+	// inner loops then allocate only what the residual function f
+	// itself allocates.
+	n := len(x)
+	xp := make([]float64, n)
+	jvOut := make([]float64, n)
+	rhs := make([]float64, n)
+	xTrial := make([]float64, n)
+	var gws ksp.GMRESWorkspace
+
 	for out.NewtonIterations = 0; out.NewtonIterations < opt.MaxNewton; out.NewtonIterations++ {
 		if norm <= opt.Rtol*norm0+opt.Atol {
 			out.Converged = true
 			break
 		}
 		// Matrix-free Jacobian action: J·v ≈ (F(x + εv) − F(x))/ε.
+		// jvOut is reused by every application; GMRES is done with the
+		// previous result before applying the operator again.
 		xnorm := math.Sqrt(sparse.Dot(r, x, x))
 		jv := func(v []float64) []float64 {
 			vnorm := math.Sqrt(sparse.Dot(r, v, v))
 			if vnorm == 0 {
-				return make([]float64, len(v))
+				for i := range jvOut {
+					jvOut[i] = 0
+				}
+				return jvOut
 			}
 			eps := 1e-7 * (1 + xnorm) / vnorm
-			xp := make([]float64, len(x))
 			for i := range x {
 				xp[i] = x[i] + eps*v[i]
 			}
 			r.Compute(sparse.VecFlops * float64(len(x)))
 			fp := eval(xp)
-			out := make([]float64, len(x))
-			for i := range out {
-				out[i] = (fp[i] - fx[i]) / eps
+			for i := range jvOut {
+				jvOut[i] = (fp[i] - fx[i]) / eps
 			}
 			r.Compute(sparse.VecFlops * float64(len(x)))
-			return out
+			return jvOut
 		}
-		// Solve J·d = −F.
-		rhs := make([]float64, len(fx))
+		// Solve J·d = −F. d lives in the GMRES workspace, valid until
+		// the next inner solve — after the line search is done with it.
 		for i := range rhs {
 			rhs[i] = -fx[i]
 		}
-		d, lin := ksp.GMRES(r, jv, rhs, opt.Restart, opt.MaxLinearIter, opt.LinearRtol)
+		d, lin := ksp.GMRESWith(&gws, r, jv, rhs, opt.Restart, opt.MaxLinearIter, opt.LinearRtol)
 		out.LinearIterations += lin.Iterations
 
-		// Backtracking line search on ||F||.
+		// Backtracking line search on ||F||. Trials overwrite xTrial;
+		// on acceptance the buffers swap, so the displaced state slice
+		// becomes the next iteration's trial scratch.
 		lambda := 1.0
-		var xNew, fNew []float64
+		xNew := xTrial
+		var fNew []float64
 		var normNew float64
 		accepted := false
 		for bt := 0; bt <= opt.MaxBacktracks; bt++ {
-			xNew = make([]float64, len(x))
 			for i := range x {
 				xNew[i] = x[i] + lambda*d[i]
 			}
@@ -151,6 +169,7 @@ func Solve(r *simmpi.Rank, f Func, x0 []float64, opt Options) ([]float64, Result
 			}
 			break
 		}
+		xTrial = x
 		x, fx, norm = xNew, fNew, normNew
 	}
 	if norm <= opt.Rtol*norm0+opt.Atol {

@@ -27,6 +27,11 @@ type DistMatrix struct {
 	Part Partition
 
 	plans []rankPlan
+	// wsPools recycles per-rank MatVec workspaces (one pool per rank,
+	// so a recycled workspace is always sized for the rank that
+	// acquires it). sync.Pool keeps the DistMatrix safe to share
+	// across the concurrent worlds of a parallel tuning campaign.
+	wsPools []sync.Pool
 }
 
 // neighbor is one leg of a halo exchange: the peer rank and the
@@ -56,6 +61,19 @@ type rankPlan struct {
 	// local columns map to [0, hi-lo), remote columns to hi-lo+slot.
 	// It turns the inner product loop into pure array indexing.
 	colIdx []int32
+	// rowOff is the compressed row-pointer table of the rank's rows:
+	// rowOff[i] is the offset of local row i's first entry relative to
+	// the rank's first entry (len nloc+1). Together with colIdx it
+	// makes the kernel's working set fully rank-local — int32 offsets
+	// into the rank's own Val window and packed operand — which halves
+	// index traffic versus the global int RowPtr and lets the compiler
+	// drop bounds checks via per-row reslicing.
+	rowOff []int32
+	// diag[i] is the offset (relative to the rank's first entry) of
+	// local row i's diagonal entry, or -1 when the row stores none.
+	// Solvers use it to extract Jacobi preconditioners without
+	// re-scanning columns.
+	diag []int32
 }
 
 // NewDistMatrix distributes a over the given partition. Plans are
@@ -107,12 +125,23 @@ func NewDistMatrix(a *CSR, part Partition) (*DistMatrix, error) {
 			dm.plans[nb.rank].send = append(dm.plans[nb.rank].send, neighbor{rank: r, idx: nb.idx})
 		}
 	}
-	// Pass 3: the operand index map.
+	// Pass 3: the operand index map, the compressed per-rank row
+	// offsets, and the diagonal map.
 	for r := 0; r < p; r++ {
 		pl := &dm.plans[r]
 		nloc := pl.hi - pl.lo
+		if pl.nnz != int(int32(pl.nnz)) {
+			return nil, fmt.Errorf("sparse: rank %d holds %d entries, beyond the int32 plan offsets", r, pl.nnz)
+		}
 		pl.colIdx = make([]int32, pl.nnz)
+		pl.rowOff = make([]int32, nloc+1)
+		pl.diag = make([]int32, nloc)
 		base := a.RowPtr[pl.lo]
+		for i := 0; i < nloc; i++ {
+			pl.rowOff[i] = int32(a.RowPtr[pl.lo+i] - base)
+			pl.diag[i] = -1
+		}
+		pl.rowOff[nloc] = int32(pl.nnz)
 		for k := base; k < a.RowPtr[pl.hi]; k++ {
 			c := a.Col[k]
 			if c >= pl.lo && c < pl.hi {
@@ -121,7 +150,17 @@ func NewDistMatrix(a *CSR, part Partition) (*DistMatrix, error) {
 				pl.colIdx[k-base] = int32(nloc + sort.SearchInts(pl.ghosts, c))
 			}
 		}
+		for i := 0; i < nloc; i++ {
+			row := pl.lo + i
+			for k := a.RowPtr[row]; k < a.RowPtr[row+1]; k++ {
+				if a.Col[k] == row {
+					pl.diag[i] = int32(k - base)
+					break
+				}
+			}
+		}
 	}
+	dm.wsPools = make([]sync.Pool, p)
 	return dm, nil
 }
 
@@ -164,21 +203,91 @@ func (dm *DistMatrix) MaxLocalNNZ() int {
 	return m
 }
 
+// Workspace holds one rank's MatVec scratch: the packed operand
+// (local entries followed by ghost slots) and the result vector.
+// A zero Workspace is ready to use; MatVecInto grows the buffers on
+// demand and keeps their capacity, so a workspace reused across
+// MatVec calls — and across the Newton–Krylov iterations of a whole
+// solve — performs no steady-state allocations. A Workspace belongs
+// to one rank of one simulated world at a time; it carries no
+// locking.
+type Workspace struct {
+	xbuf []float64
+	y    []float64
+}
+
+// grow returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// AcquireWorkspace returns a workspace for the given rank, recycled
+// from the per-rank pool when one is available. Pair with
+// ReleaseWorkspace once the solve is done; a workspace must not be
+// used after release.
+func (dm *DistMatrix) AcquireWorkspace(rank int) *Workspace {
+	if dm.wsPools != nil {
+		if v := dm.wsPools[rank].Get(); v != nil {
+			return v.(*Workspace)
+		}
+	}
+	return new(Workspace)
+}
+
+// ReleaseWorkspace returns a workspace to rank's pool for reuse by a
+// later solve (possibly in another concurrently simulated world).
+func (dm *DistMatrix) ReleaseWorkspace(rank int, ws *Workspace) {
+	if dm.wsPools != nil {
+		dm.wsPools[rank].Put(ws)
+	}
+}
+
 // MatVec computes the local block of y = A·x inside a simulated rank.
 // x is the rank's local slice (rows [lo,hi)); the returned slice is
-// the local slice of y. Ghost entries are exchanged with neighbour
-// ranks, paying real communication costs; the local product charges
-// FlopsPerNNZ per stored entry.
+// the local slice of y, freshly allocated — callers may retain it.
+// Ghost entries are exchanged with neighbour ranks, paying real
+// communication costs; the local product charges FlopsPerNNZ per
+// stored entry. Hot paths that call MatVec every solver iteration
+// should hold a Workspace and use MatVecInto instead.
 func (dm *DistMatrix) MatVec(r *simmpi.Rank, tag int, x []float64) []float64 {
+	ws := dm.AcquireWorkspace(r.ID())
+	nloc := dm.plans[r.ID()].hi - dm.plans[r.ID()].lo
+	y := make([]float64, nloc)
+	dm.matVec(r, tag, x, ws, y)
+	dm.ReleaseWorkspace(r.ID(), ws)
+	return y
+}
+
+// MatVecInto is MatVec writing into ws: the returned slice is ws's
+// result buffer, valid until the next MatVecInto on the same
+// workspace. With a warm workspace the whole product — send staging,
+// operand packing, and the local kernel — allocates nothing: staging
+// buffers cycle through the world's payload free lists (the receiver
+// donates them back after unpacking) and the operand and result live
+// in ws.
+func (dm *DistMatrix) MatVecInto(ws *Workspace, r *simmpi.Rank, tag int, x []float64) []float64 {
+	nloc := dm.plans[r.ID()].hi - dm.plans[r.ID()].lo
+	ws.y = grow(ws.y, nloc)
+	dm.matVec(r, tag, x, ws, ws.y)
+	return ws.y
+}
+
+func (dm *DistMatrix) matVec(r *simmpi.Rank, tag int, x []float64, ws *Workspace, y []float64) {
 	plan := &dm.plans[r.ID()]
 	nloc := plan.hi - plan.lo
 	if len(x) != nloc {
 		panic(fmt.Sprintf("sparse: rank %d MatVec got %d entries, owns %d", r.ID(), len(x), nloc))
 	}
-	// Ship owned entries to every neighbour that needs them. The
-	// payload slice is handed to the machine without a defensive copy.
+	// Ship owned entries to every neighbour that needs them. Staging
+	// comes from the world's recycled-payload free lists and is handed
+	// to the machine without a defensive copy; the receiving rank
+	// donates it back once unpacked.
 	for _, nb := range plan.send {
-		vals := make([]float64, len(nb.idx))
+		vals := r.AcquireBuf(len(nb.idx))
 		for i, g := range nb.idx {
 			vals[i] = x[g-plan.lo]
 		}
@@ -186,7 +295,8 @@ func (dm *DistMatrix) MatVec(r *simmpi.Rank, tag int, x []float64) []float64 {
 	}
 	// Operand vector: local entries followed by ghost slots. Ghosts
 	// from one peer land in one contiguous copy.
-	xbuf := make([]float64, nloc+plan.nGhost)
+	ws.xbuf = grow(ws.xbuf, nloc+plan.nGhost)
+	xbuf := ws.xbuf
 	copy(xbuf, x)
 	for _, nb := range plan.recv {
 		vals := r.Recv(nb.rank, tag)
@@ -194,22 +304,93 @@ func (dm *DistMatrix) MatVec(r *simmpi.Rank, tag int, x []float64) []float64 {
 			panic(fmt.Sprintf("sparse: rank %d expected %d ghosts from %d, got %d", r.ID(), len(nb.idx), nb.rank, len(vals)))
 		}
 		copy(xbuf[nloc+nb.off:], vals)
+		r.ReleaseBuf(vals)
 	}
-	// Local product over the precomputed operand index map: pure
-	// array indexing, no branches or hashing in the inner loop.
-	a := dm.A
-	y := make([]float64, nloc)
-	base := a.RowPtr[plan.lo]
-	ci := plan.colIdx
-	for row := plan.lo; row < plan.hi; row++ {
-		var s float64
-		for k := a.RowPtr[row]; k < a.RowPtr[row+1]; k++ {
-			s += a.Val[k] * xbuf[ci[k-base]]
-		}
-		y[row-plan.lo] = s
-	}
+	base := dm.A.RowPtr[plan.lo]
+	matVecKernel(y, dm.A.Val[base:base+plan.nnz], plan.rowOff, plan.colIdx, xbuf)
 	r.Compute(FlopsPerNNZ * float64(plan.nnz))
-	return y
+}
+
+// matVecKernel is the rank-local inner product: y[i] sums row i of
+// the rank's Val window against the packed operand. Per-row reslicing
+// of val and ci lets the compiler prove the k indexes in bounds and
+// drop the checks (verified with -gcflags=-d=ssa/check_bce: only the
+// data-dependent xbuf gather keeps its check), and adjacent row pairs
+// are processed together, interleaving two independent accumulator
+// chains so the loop is no longer gated by one row's serial
+// floating-point add latency. Each row's accumulation stays strictly
+// left-to-right, so results are bit-identical to the host CSR.MulVec
+// reference. All indices are rank-local int32 offsets, keeping the
+// working set compact: Val window, colIdx, and the packed operand
+// stream contiguously regardless of where the rank's rows sit in the
+// global matrix.
+func matVecKernel(y, val []float64, rowOff, ci []int32, xbuf []float64) {
+	if len(rowOff) != len(y)+1 {
+		panic("sparse: row offsets disagree with result length")
+	}
+	i := 0
+	for ; i+1 < len(y); i += 2 {
+		v0 := val[rowOff[i]:rowOff[i+1]]
+		c0 := ci[rowOff[i]:rowOff[i+1]]
+		v1 := val[rowOff[i+1]:rowOff[i+2]]
+		c1 := ci[rowOff[i+1]:rowOff[i+2]]
+		n := len(v0)
+		if len(v1) < n {
+			n = len(v1)
+		}
+		p0, q0 := v0[:n], c0[:n]
+		p1, q1 := v1[:n], c1[:n]
+		var s0, s1 float64
+		for k := range p0 {
+			s0 += p0[k] * xbuf[q0[k]]
+			s1 += p1[k] * xbuf[q1[k]]
+		}
+		c0 = c0[:len(v0)]
+		for k := n; k < len(v0); k++ {
+			s0 += v0[k] * xbuf[c0[k]]
+		}
+		c1 = c1[:len(v1)]
+		for k := n; k < len(v1); k++ {
+			s1 += v1[k] * xbuf[c1[k]]
+		}
+		y[i], y[i+1] = s0, s1
+	}
+	if i < len(y) {
+		v := val[rowOff[i]:rowOff[i+1]]
+		c := ci[rowOff[i]:rowOff[i+1]]
+		c = c[:len(v)]
+		var s float64
+		for k := range v {
+			s += v[k] * xbuf[c[k]]
+		}
+		y[i] = s
+	}
+}
+
+// InvDiagInto fills dst (resized as needed) with the elementwise
+// inverse of rank's local diagonal, reading the plan's precomputed
+// diagonal offsets instead of re-scanning each row's columns. Rows
+// storing no diagonal (or a zero one) get 1, matching the identity
+// fallback of a Jacobi preconditioner. Shared by the preconditioned
+// and unpreconditioned solver paths so every consumer extracts the
+// same values the same way.
+func (dm *DistMatrix) InvDiagInto(rank int, dst []float64) []float64 {
+	plan := &dm.plans[rank]
+	nloc := plan.hi - plan.lo
+	dst = grow(dst, nloc)
+	base := dm.A.RowPtr[plan.lo]
+	val := dm.A.Val[base : base+plan.nnz]
+	for i, off := range plan.diag {
+		d := 0.0
+		if off >= 0 {
+			d = val[off]
+		}
+		if d == 0 {
+			d = 1
+		}
+		dst[i] = 1 / d
+	}
+	return dst
 }
 
 // Scatter splits a global vector into the local slice for rank.

@@ -1,0 +1,5 @@
+//go:build race
+
+package sparse
+
+const raceEnabled = true
