@@ -11,9 +11,14 @@
 // periodically applies the deadlines and dumps the operational
 // counters; a final dump is written on shutdown.
 //
+// The session table is sharded (-shards) so many tenants dispatch
+// without contending on one lock, and one port speaks both wire
+// protocols: the JSON line protocol and the pipelined binary frame
+// protocol, distinguished by the first byte each connection sends.
+//
 // Usage:
 //
-//	harmonyd [-addr host:port] [-quiet] [-cache file]
+//	harmonyd [-addr host:port] [-quiet] [-cache file] [-shards n]
 //	         [-session-timeout d] [-report-timeout d] [-max-reissues n]
 //	         [-stats-interval d]
 package main
@@ -38,6 +43,7 @@ func main() {
 	reportTimeout := flag.Duration("report-timeout", 0, "re-issue configurations whose reports are overdue by this much (0 = wait forever)")
 	maxReissues := flag.Int("max-reissues", 0, "straggler re-issues before a configuration is forfeited (0 = default)")
 	statsInterval := flag.Duration("stats-interval", 0, "dump server counters (and apply deadlines) this often (0 = only on shutdown)")
+	shards := flag.Int("shards", 0, "session-table shards; higher values reduce lock contention under many tenants (0 = default)")
 	flag.Parse()
 
 	s := server.New()
@@ -47,6 +53,7 @@ func main() {
 	s.SessionTimeout = *sessionTimeout
 	s.ReportTimeout = *reportTimeout
 	s.MaxReissues = *maxReissues
+	s.Shards = *shards
 
 	var evalCache *history.EvalCache
 	if *cachePath != "" {

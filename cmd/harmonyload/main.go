@@ -1,0 +1,289 @@
+// Command harmonyload load-tests a Harmony tuning server with
+// thousands of concurrent simulated tuning clients, the scale the
+// multi-tenant server exists for. Each simulated client registers its
+// own session and drives a full campaign — fetch, evaluate a
+// deterministic objective, report, repeat to convergence — while the
+// harness measures every round trip. It reports p50/p99 round latency
+// and aggregate rounds/sec per wire protocol, and can write the
+// results as JSON for CI benchmark tracking.
+//
+// With no -addr the harness starts an in-process server, so a single
+// command benchmarks the whole stack; point -addr at a running
+// harmonyd to load-test a deployment.
+//
+// Usage:
+//
+//	harmonyload [-addr host:port] [-sessions n] [-proto json|binary|both]
+//	            [-conns n] [-max-runs n] [-shards n] [-out file] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/proto"
+	"harmony/internal/server"
+	"harmony/internal/space"
+)
+
+// campaignSession is the protocol-independent session surface; the
+// JSON Session and the binary MuxSession both provide it.
+type campaignSession interface {
+	Fetch() (map[string]string, bool, error)
+	Report(perf float64) error
+	Best() (map[string]string, float64, error)
+	Done() error
+}
+
+// protoResult is one protocol's aggregate measurement, serialised
+// into the benchmark JSON.
+type protoResult struct {
+	Sessions     int     `json:"sessions"`
+	Rounds       int     `json:"rounds"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	P50RoundUS   float64 `json:"p50_round_us"`
+	P99RoundUS   float64 `json:"p99_round_us"`
+}
+
+type benchOutput struct {
+	Bench     string                 `json:"bench"`
+	Sessions  int                    `json:"sessions"`
+	MaxRuns   int                    `json:"max_runs"`
+	Shards    int                    `json:"shards"`
+	Conns     int                    `json:"conns"`
+	Results   map[string]protoResult `json:"results"`
+	SpeedupRS float64                `json:"binary_rounds_per_sec_speedup,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "server address; empty starts an in-process server")
+	sessions := flag.Int("sessions", 1000, "concurrent tuning sessions per protocol run")
+	protoSel := flag.String("proto", "both", "wire protocol to drive: json, binary, or both")
+	conns := flag.Int("conns", 8, "multiplexed connections for the binary protocol (JSON uses one per session)")
+	maxRuns := flag.Int("max-runs", 10, "tuning-run budget of each campaign")
+	shards := flag.Int("shards", 0, "session-table shards of the in-process server (0 = default)")
+	out := flag.String("out", "", "write results as JSON to this file")
+	verbose := flag.Bool("v", false, "log per-protocol progress")
+	flag.Parse()
+
+	if *protoSel != "json" && *protoSel != "binary" && *protoSel != "both" {
+		log.Fatalf("harmonyload: -proto must be json, binary, or both (got %q)", *protoSel)
+	}
+	if *sessions <= 0 || *conns <= 0 || *maxRuns <= 0 {
+		log.Fatal("harmonyload: -sessions, -conns, and -max-runs must be positive")
+	}
+
+	target := *addr
+	if target == "" {
+		s := server.New()
+		s.Logf = func(string, ...any) {}
+		s.Shards = *shards
+		errc := make(chan error, 1)
+		go func() { errc <- s.ListenAndServe("127.0.0.1:0") }()
+		for s.Addr() == nil {
+			select {
+			case err := <-errc:
+				log.Fatalf("harmonyload: in-process server: %v", err)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		target = s.Addr().String()
+		defer s.Close()
+	}
+
+	output := benchOutput{
+		Bench:    "harmonyload",
+		Sessions: *sessions,
+		MaxRuns:  *maxRuns,
+		Shards:   *shards,
+		Conns:    *conns,
+		Results:  make(map[string]protoResult),
+	}
+	if *protoSel == "json" || *protoSel == "both" {
+		output.Results["json"] = runProtocol(target, "json", *sessions, *conns, *maxRuns, *verbose)
+	}
+	if *protoSel == "binary" || *protoSel == "both" {
+		output.Results["binary"] = runProtocol(target, "binary", *sessions, *conns, *maxRuns, *verbose)
+	}
+	if j, ok := output.Results["json"]; ok {
+		if b, ok := output.Results["binary"]; ok && j.RoundsPerSec > 0 {
+			output.SpeedupRS = round2(b.RoundsPerSec / j.RoundsPerSec)
+		}
+	}
+
+	for _, name := range []string{"json", "binary"} {
+		r, ok := output.Results[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("harmonyload: %-6s %d sessions, %d rounds in %.2fs: %.0f rounds/sec, p50 %.0fus, p99 %.0fus\n",
+			name, r.Sessions, r.Rounds, r.ElapsedSec, r.RoundsPerSec, r.P50RoundUS, r.P99RoundUS)
+	}
+	if output.SpeedupRS > 0 {
+		fmt.Printf("harmonyload: binary/json rounds-per-sec ratio: %.2fx\n", output.SpeedupRS)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(output, "", "  ")
+		if err != nil {
+			log.Fatalf("harmonyload: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("harmonyload: %v", err)
+		}
+		fmt.Printf("harmonyload: wrote %s\n", *out)
+	}
+}
+
+// loadSpace is the campaign's tunable space: large enough that random
+// strategies propose distinct configurations, small enough that the
+// protocol — not the search — dominates the cost.
+func loadSpace() *space.Space {
+	return space.MustNew(
+		space.IntParam("x", 0, 40, 1),
+		space.IntParam("y", 0, 40, 1),
+	)
+}
+
+// objective is a deterministic bowl: evaluation costs nothing, so the
+// benchmark measures the tuning service, not the simulated
+// application.
+func objective(values map[string]string) float64 {
+	x, _ := strconv.Atoi(values["x"])
+	y, _ := strconv.Atoi(values["y"])
+	dx, dy := float64(x-25), float64(y-5)
+	return 10 + dx*dx + dy*dy
+}
+
+// runProtocol drives `sessions` concurrent campaigns over one wire
+// protocol and aggregates their round latencies. JSON campaigns own a
+// connection each (the line protocol is strictly request/reply);
+// binary campaigns share `conns` multiplexed connections, pipelining
+// their operations into common frames.
+func runProtocol(addr, protocol string, sessions, conns, maxRuns int, verbose bool) protoResult {
+	var muxes []*client.Mux
+	if protocol == "binary" {
+		for i := 0; i < conns; i++ {
+			m, err := client.DialMux(addr)
+			if err != nil {
+				log.Fatalf("harmonyload: binary dial: %v", err)
+			}
+			muxes = append(muxes, m)
+		}
+		defer func() {
+			for _, m := range muxes {
+				_ = m.Close() // benchmark teardown; the measurements are already in
+			}
+		}()
+	}
+
+	latencies := make([][]time.Duration, sessions)
+	rounds := make([]int, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reg := client.Registration{
+				App:      "harmonyload",
+				Space:    loadSpace(),
+				Strategy: proto.StrategyRandom,
+				Seed:     int64(i + 1),
+				MaxRuns:  maxRuns,
+				CacheNS:  "load-" + strconv.Itoa(i),
+			}
+			var sess campaignSession
+			if protocol == "binary" {
+				s, err := muxes[i%len(muxes)].Register(reg)
+				if err != nil {
+					log.Fatalf("harmonyload: register %d: %v", i, err)
+				}
+				sess = s
+			} else {
+				c, err := client.Dial(addr)
+				if err != nil {
+					log.Fatalf("harmonyload: dial %d: %v", i, err)
+				}
+				defer c.Close()
+				s, err := c.Register(reg)
+				if err != nil {
+					log.Fatalf("harmonyload: register %d: %v", i, err)
+				}
+				sess = s
+			}
+			for step := 0; step < 10*maxRuns+10; step++ {
+				t0 := time.Now()
+				values, converged, err := sess.Fetch()
+				if err != nil {
+					log.Fatalf("harmonyload: fetch %d: %v", i, err)
+				}
+				if converged {
+					break
+				}
+				if err := sess.Report(objective(values)); err != nil {
+					log.Fatalf("harmonyload: report %d: %v", i, err)
+				}
+				latencies[i] = append(latencies[i], time.Since(t0))
+				rounds[i]++
+			}
+			if _, _, err := sess.Best(); err != nil {
+				log.Fatalf("harmonyload: best %d: %v", i, err)
+			}
+			if err := sess.Done(); err != nil {
+				log.Fatalf("harmonyload: done %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	total := 0
+	for i := range latencies {
+		all = append(all, latencies[i]...)
+		total += rounds[i]
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	if verbose {
+		log.Printf("harmonyload: %s: %d campaigns, %d rounds, %v", protocol, sessions, total, elapsed)
+	}
+	return protoResult{
+		Sessions:     sessions,
+		Rounds:       total,
+		ElapsedSec:   round2(elapsed.Seconds()),
+		RoundsPerSec: round2(float64(total) / elapsed.Seconds()),
+		P50RoundUS:   round2(percentile(all, 50).Seconds() * 1e6),
+		P99RoundUS:   round2(percentile(all, 99).Seconds() * 1e6),
+	}
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

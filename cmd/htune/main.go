@@ -86,6 +86,7 @@ type Spec struct {
 type cliOptions struct {
 	historyPath string
 	cachePath   string
+	cacheNS     string
 	workers     int
 	runTimeout  time.Duration
 	metrics     bool
@@ -97,6 +98,7 @@ func main() {
 	var cpuprofile, memprofile string
 	flag.StringVar(&opts.historyPath, "history", "", "tuning-history file for seeding and recording")
 	flag.StringVar(&opts.cachePath, "cache", "", "persistent evaluation-cache file: repeated configurations are answered from prior sessions instead of re-run")
+	flag.StringVar(&opts.cacheNS, "cache-ns", "", "evaluation-cache namespace: campaigns in different namespaces never share measurements (empty = shared)")
 	flag.IntVar(&opts.workers, "workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
 	flag.DurationVar(&opts.runTimeout, "run-timeout", 0, "kill a benchmarking run exceeding this and count it failed (0 = no limit)")
 	flag.BoolVar(&opts.metrics, "metrics", false, "append a machine-readable htune.<name> <value> summary")
@@ -105,7 +107,7 @@ func main() {
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile taken at session end to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-workers N] [-run-timeout d] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-cache-ns name] [-workers N] [-run-timeout d] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
 		os.Exit(2)
 	}
 	stopProfiles, err := startProfiles(cpuprofile, memprofile)
@@ -209,7 +211,7 @@ func run(specPath string, cli cliOptions) error {
 		if n := evalCache.Len(); n > 0 {
 			fmt.Printf("htune: evaluation cache holds %d prior measurements\n", n)
 		}
-		opt.Cache = evalCache.Bound(spec.App, spec.Machine, sp)
+		opt.Cache = evalCache.BoundNS(spec.App, spec.Machine, cli.cacheNS, sp)
 	}
 	if cli.verbose {
 		opt.Logf = func(format string, args ...any) {

@@ -210,6 +210,12 @@ type (
 	Session = client.Session
 	// Registration describes a session to create.
 	Registration = client.Registration
+	// Mux is a multiplexed connection speaking the binary frame
+	// protocol; many sessions share it and their requests are
+	// pipelined into common frames.
+	Mux = client.Mux
+	// MuxSession is an on-line tuning session carried by a Mux.
+	MuxSession = client.MuxSession
 )
 
 // NewServer constructs a tuning server; start it with ListenAndServe
@@ -225,6 +231,11 @@ func Dial(addr string) (*Client, error) { return client.Dial(addr) }
 func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	return client.DialOptions(addr, opts)
 }
+
+// DialMux connects to a Harmony server at addr over the binary frame
+// protocol; register many sessions on the returned Mux to share the
+// connection.
+func DialMux(addr string) (*Mux, error) { return client.DialMux(addr) }
 
 // Prior-run history.
 type (

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"testing"
+
+	"harmony/internal/proto"
+)
+
+// TestReportNonFiniteSucceeds is the client half of the non-finite
+// Perf regression: Session.Report(math.Inf(1)) — the documented way
+// to reject an infeasible configuration — used to fail inside
+// Conn.Send because encoding/json cannot marshal non-finite floats.
+func TestReportNonFiniteSucceeds(t *testing.T) {
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		c := fakeServer(t, &proto.Message{Type: proto.TypeOK})
+		sess := c.Attach("s1")
+		if err := sess.Report(v); err != nil {
+			t.Errorf("Report(%v): %v", v, err)
+		}
+	}
+}
+
+// TestMarshalErrorNotRetryable pins roundTrip's retry classifier: an
+// encoding failure is a programming fault, not a transport fault, and
+// must not burn the reconnect budget re-encoding the same message.
+func TestMarshalErrorNotRetryable(t *testing.T) {
+	marshal := fmt.Errorf("proto: marshal: %w (boom)", proto.ErrMarshal)
+	if retryable(marshal) {
+		t.Error("a wrapped proto.ErrMarshal must not be retried")
+	}
+	if !retryable(io.ErrUnexpectedEOF) {
+		t.Error("a transport fault must be retried")
+	}
+	if !retryable(fmt.Errorf("proto: write: %w", io.ErrClosedPipe)) {
+		t.Error("a wrapped transport fault must be retried")
+	}
+	if retryable(nil) {
+		t.Error("success must not loop")
+	}
+}
+
+// TestMuxFailureUnblocksCalls: when the peer dies mid-exchange, every
+// in-flight Call must return an error promptly instead of hanging on
+// a reply that will never come.
+func TestMuxFailureUnblocksCalls(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	go func() {
+		defer b.Close()
+		if err := proto.ReadHandshake(b); err != nil {
+			return
+		}
+		if err := proto.WriteHandshake(b); err != nil {
+			return
+		}
+		// Swallow the start of the first frame, then vanish.
+		buf := make([]byte, 4)
+		_, _ = io.ReadFull(b, buf)
+	}()
+	m, err := NewMuxFromConn(a)
+	if err != nil {
+		t.Fatalf("NewMuxFromConn: %v", err)
+	}
+	defer m.Close()
+	if _, err := m.Call(&proto.Message{Type: proto.TypeFetch, Session: "s1"}); err == nil {
+		t.Fatal("Call on a dead mux returned success")
+	}
+	if m.Err() == nil {
+		t.Error("mux did not latch its terminal error")
+	}
+	// Later calls fail fast with the latched error.
+	if _, err := m.Call(&proto.Message{Type: proto.TypeBest, Session: "s1"}); err == nil {
+		t.Error("Call after failure returned success")
+	}
+}
+
+// TestMuxCloseUnblocksCalls: a local Close while a call is in flight
+// delivers ErrMuxClosed instead of deadlocking.
+func TestMuxCloseUnblocksCalls(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	go func() {
+		if err := proto.ReadHandshake(b); err != nil {
+			return
+		}
+		_ = proto.WriteHandshake(b)
+		// Keep the connection open but never answer.
+		buf := make([]byte, 1024)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	m, err := NewMuxFromConn(a)
+	if err != nil {
+		t.Fatalf("NewMuxFromConn: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Call(&proto.Message{Type: proto.TypeFetch, Session: "s1"})
+		done <- err
+	}()
+	// Let the call get queued, then pull the plug.
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; !errors.Is(err, ErrMuxClosed) {
+		t.Errorf("in-flight call got %v, want ErrMuxClosed", err)
+	}
+	_ = b.Close()
+}

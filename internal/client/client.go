@@ -25,6 +25,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -135,6 +136,10 @@ type Registration struct {
 	Parallel bool
 	// Seed feeds randomised strategies.
 	Seed int64
+	// CacheNS namespaces the session's view of the server's persistent
+	// evaluation cache; sessions in different namespaces never share
+	// measurements. Empty selects the shared namespace.
+	CacheNS string
 }
 
 // Session is a registered tuning session.
@@ -160,6 +165,7 @@ func (c *Client) Register(reg Registration) (*Session, error) {
 		Reporters: reg.Reporters,
 		Parallel:  reg.Parallel,
 		Seed:      reg.Seed,
+		CacheNS:   reg.CacheNS,
 	}
 	reply, err := c.roundTrip(msg)
 	if err != nil {
@@ -196,13 +202,18 @@ func (s *Session) ID() string { return s.id }
 // for another reporter's measurement (the aggregate is their worst
 // value, so the bias is bounded by the reports of the same
 // configuration).
+//
+// A message that failed to encode (proto.ErrMarshal) is not a
+// transport fault — reconnecting and re-encoding the identical
+// message fails identically — so it is surfaced immediately instead
+// of burning the retry budget.
 func (c *Client) roundTrip(msg *proto.Message) (*proto.Message, error) {
 	reply, err := c.try(msg)
 	backoff := c.opts.Backoff
 	if backoff <= 0 {
 		backoff = defaultBackoff
 	}
-	for attempt := 0; err != nil && attempt < c.opts.Retries && c.addr != ""; attempt++ {
+	for attempt := 0; retryable(err) && attempt < c.opts.Retries && c.addr != ""; attempt++ {
 		time.Sleep(backoff)
 		backoff *= 2
 		if rerr := c.connect(); rerr != nil {
@@ -218,6 +229,14 @@ func (c *Client) roundTrip(msg *proto.Message) (*proto.Message, error) {
 		return nil, fmt.Errorf("client: server error: %s", reply.Error)
 	}
 	return reply, nil
+}
+
+// retryable reports whether a failed round trip is worth a
+// reconnect-and-resend. Transport faults are; an encoding fault
+// (proto.ErrMarshal) is not, because reconnecting and re-encoding the
+// identical message fails identically.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, proto.ErrMarshal)
 }
 
 // try performs one send/receive exchange under the I/O deadline. A

@@ -131,9 +131,20 @@ func (c *EvalCache) store(key string, v float64) {
 // simulated machine, or any string that changes whenever the
 // execution environment's cost model does.
 func (c *EvalCache) Bound(app, machineFingerprint string, sp *space.Space) *BoundCache {
+	return c.BoundNS(app, machineFingerprint, "", sp)
+}
+
+// BoundNS is Bound with an additional tenant namespace folded into the
+// evaluation identity. Sessions bound with different namespaces never
+// observe each other's measurements even when app, machine, and space
+// coincide — the isolation a multi-tenant server needs when two
+// tenants run the same benchmark under conditions the space does not
+// capture (build flags, input decks). The empty namespace is the
+// shared default and is identical to Bound.
+func (c *EvalCache) BoundNS(app, machineFingerprint, namespace string, sp *space.Space) *BoundCache {
 	return &BoundCache{
 		c:      c,
-		prefix: fmt.Sprintf("%s\x00%s\x00%s\x00", app, machineFingerprint, spaceFingerprint(sp)),
+		prefix: fmt.Sprintf("%s\x00%s\x00%s\x00%s\x00", app, machineFingerprint, namespace, spaceFingerprint(sp)),
 	}
 }
 

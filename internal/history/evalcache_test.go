@@ -74,6 +74,33 @@ func TestEvalCacheIdentityIsolation(t *testing.T) {
 	}
 }
 
+// TestBoundNSTenantIsolation: namespaces partition the cache even when
+// app, machine, and space all coincide — the multi-tenant server's
+// isolation guarantee — while the empty namespace remains identical
+// to the shared Bound view.
+func TestBoundNSTenantIsolation(t *testing.T) {
+	c := NewEvalCache()
+	sp := cacheSpace()
+	pt := space.Point{2, 3}
+
+	c.BoundNS("gs2", "mcr", "tenant-a", sp).Store(pt, 7.0)
+	if _, ok := c.BoundNS("gs2", "mcr", "tenant-b", sp).Lookup(pt); ok {
+		t.Error("tenant-b read tenant-a's measurement")
+	}
+	if _, ok := c.BoundNS("gs2", "mcr", "", sp).Lookup(pt); ok {
+		t.Error("the shared namespace read a tenant's measurement")
+	}
+	if v, ok := c.BoundNS("gs2", "mcr", "tenant-a", sp).Lookup(pt); !ok || v != 7.0 {
+		t.Errorf("tenant-a Lookup = (%v, %v), want (7, true)", v, ok)
+	}
+
+	// Bound is the empty namespace: the two views share entries.
+	c.Bound("gs2", "mcr", sp).Store(pt, 9.0)
+	if v, ok := c.BoundNS("gs2", "mcr", "", sp).Lookup(pt); !ok || v != 9.0 {
+		t.Errorf("BoundNS(\"\") Lookup = (%v, %v), want Bound's 9", v, ok)
+	}
+}
+
 func TestEvalCachePersistence(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sub", "cache.json")
 	c, err := OpenEvalCache(path)

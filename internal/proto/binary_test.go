@@ -1,0 +1,196 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/space"
+)
+
+func frameRoundTrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteFrame(w, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return got
+}
+
+func TestBinaryMessageRoundTripAllFields(t *testing.T) {
+	sp := space.MustNew(
+		space.IntParam("rows", 10, 100, 10),
+		space.EnumParam("alg", "heap", "quick"),
+		space.IntParam("bias", -5, 5, 1),
+	)
+	msgs := []*Message{
+		{
+			Type: TypeRegister, App: "gs2", Machine: "mcr", Strategy: StrategyPRO,
+			Space: EncodeSpace(sp), Seed: -42, MaxRuns: 64, Reporters: 3,
+			Parallel: true, Seq: 7, CacheNS: "tenant-a",
+		},
+		{Type: TypeRegistered, Session: "s17", Seq: 7},
+		{Type: TypeFetch, Session: "s17", Seq: 8},
+		{
+			Type: TypeConfig, Values: map[string]string{"rows": "40", "alg": "heap", "bias": "-3"},
+			Tag: 12, Gen: 9, Converged: true, Seq: 8,
+		},
+		{Type: TypeReport, Session: "s17", Perf: 16.25, Tag: 12, Gen: 9, Seq: 9},
+		{Type: TypeBestReply, Values: map[string]string{"alg": "quick"}, Perf: -1.5},
+		{Type: TypeError, Error: "unknown session \"nope\""},
+		{Type: TypeOK},
+	}
+	got := frameRoundTrip(t, &Frame{ID: 3, Msgs: msgs})
+	if got.ID != 3 || len(got.Msgs) != len(msgs) {
+		t.Fatalf("frame = id %d, %d msgs; want id 3, %d msgs", got.ID, len(got.Msgs), len(msgs))
+	}
+	for i, want := range msgs {
+		if !reflect.DeepEqual(got.Msgs[i], want) {
+			t.Errorf("msg %d:\n got %+v\nwant %+v", i, got.Msgs[i], want)
+		}
+	}
+}
+
+// TestBinaryPerfNonFinite pins the satellite bugfix at the binary
+// layer: ±Inf and NaN travel as raw IEEE bits.
+func TestBinaryPerfNonFinite(t *testing.T) {
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0} {
+		got := frameRoundTrip(t, &Frame{Msgs: []*Message{{Type: TypeReport, Perf: v}}})
+		if p := got.Msgs[0].Perf; math.Float64bits(p) != math.Float64bits(v) {
+			t.Errorf("Perf %v round-tripped to %v", v, p)
+		}
+	}
+	got := frameRoundTrip(t, &Frame{Msgs: []*Message{{Type: TypeReport, Perf: math.NaN()}}})
+	if !math.IsNaN(got.Msgs[0].Perf) {
+		t.Errorf("NaN round-tripped to %v", got.Msgs[0].Perf)
+	}
+}
+
+// TestJSONPerfNonFinite pins the same bugfix at the JSON layer: Send
+// used to fail outright on math.Inf (encoding/json cannot marshal
+// non-finite floats), which burned client reconnect retries.
+func TestJSONPerfNonFinite(t *testing.T) {
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		var buf bytes.Buffer
+		c := NewConn(rwcloser{strings.NewReader(""), &buf})
+		msg := &Message{Type: TypeReport, Session: "s1", Perf: v}
+		if err := c.Send(msg); err != nil {
+			t.Fatalf("Send(Perf=%v): %v", v, err)
+		}
+		if msg.Perf != v && !(math.IsNaN(msg.Perf) && math.IsNaN(v)) {
+			t.Fatalf("Send mutated the caller's message: %+v", msg)
+		}
+		back := NewConn(rwcloser{strings.NewReader(buf.String()), io.Discard})
+		got, err := back.Recv()
+		if err != nil {
+			t.Fatalf("Recv(Perf=%v): %v", v, err)
+		}
+		if got.Perf != v && !(math.IsNaN(got.Perf) && math.IsNaN(v)) {
+			t.Errorf("Perf %v round-tripped to %v", v, got.Perf)
+		}
+		if got.PerfText != "" {
+			t.Errorf("PerfText %q leaked out of Recv", got.PerfText)
+		}
+	}
+	// A peer inventing other text is malformed, not silently zero.
+	c := NewConn(rwcloser{strings.NewReader(`{"type":"report","perf_text":"huge"}` + "\n"), io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Error("expected error for unknown perf_text")
+	}
+}
+
+func TestBinaryHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[0] == '{' {
+		t.Fatal("handshake magic collides with JSON's opening byte")
+	}
+	if err := ReadHandshake(&buf); err != nil {
+		t.Fatalf("ReadHandshake: %v", err)
+	}
+	if err := ReadHandshake(strings.NewReader("HRMB\x63")); err == nil {
+		t.Error("expected error for unsupported version")
+	}
+	if err := ReadHandshake(strings.NewReader("JUNK\x01")); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	if err := ReadHandshake(strings.NewReader("HR")); err == nil {
+		t.Error("expected error for truncated handshake")
+	}
+}
+
+func TestBinaryFrameMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"truncated header", []byte{0, 0}},
+		{"oversized length", []byte{0xff, 0xff, 0xff, 0xff}},
+		{"truncated payload", []byte{0, 0, 0, 9, 1, 1}},
+		{"absurd message count", []byte{0, 0, 0, 2, 1, 0xff}},
+		{"unknown type code", []byte{0, 0, 0, 3, 1, 1, 0x63}},
+		{"unknown field tag", []byte{0, 0, 0, 4, 1, 1, 9, 0x63}},
+		{"trailing bytes", []byte{0, 0, 0, 5, 1, 1, 9, 0, 7}},
+	}
+	for _, c := range cases {
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(c.raw))); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Clean EOF at a frame boundary is io.EOF, not an error message.
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestBinaryCloseMidFrame: a peer vanishing between the header and
+// the payload surfaces as a framing error, never a hang or a bogus
+// message.
+func TestBinaryCloseMidFrame(t *testing.T) {
+	full, err := AppendFrame(nil, &Frame{ID: 1, Msgs: []*Message{
+		{Type: TypeReport, Session: "s1", Perf: 3.5, Seq: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:cut])))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(full))
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation at %d/%d bytes reported clean EOF", cut, len(full))
+		}
+	}
+}
+
+// TestBinaryRoundTripProperty drives the codec with arbitrary field
+// values, including unprintable strings and extreme numbers.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(session, app, errText string, perf float64, seq uint64, tag, gen int, conv bool) bool {
+		msg := &Message{
+			Type: TypeReport, Session: session, App: app, Error: errText,
+			Perf: perf, Seq: seq, Tag: tag, Gen: gen, Converged: conv,
+		}
+		got := frameRoundTrip(t, &Frame{ID: seq, Msgs: []*Message{msg}})
+		return reflect.DeepEqual(got.Msgs[0], msg) && got.ID == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

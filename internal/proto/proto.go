@@ -19,12 +19,21 @@ package proto
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"harmony/internal/space"
 )
+
+// ErrMarshal wraps message-encoding failures in Send. A marshal error
+// is a programming fault in the caller's message, not a transport
+// fault: reconnect-and-retry loops must give up immediately on it
+// (errors.Is(err, ErrMarshal)) instead of burning their retry budget
+// re-encoding the same broken message.
+var ErrMarshal = errors.New("message encoding failed")
 
 // Message types.
 const (
@@ -66,6 +75,12 @@ type Message struct {
 	Type    string `json:"type"`
 	Session string `json:"session,omitempty"`
 
+	// Seq is a client-chosen correlation id echoed verbatim on the
+	// reply. The pipelined binary protocol requires it (replies of a
+	// frame may interleave with other in-flight frames on the same
+	// connection); the one-at-a-time JSON line protocol ignores it.
+	Seq uint64 `json:"seq,omitempty"`
+
 	// register
 	App      string      `json:"app,omitempty"`
 	Machine  string      `json:"machine,omitempty"`
@@ -78,6 +93,13 @@ type Message struct {
 	// since the slowest rank gates a parallel application) before
 	// advancing the search. Defaults to 1.
 	Reporters int `json:"reporters,omitempty"`
+	// CacheNS namespaces the session's view of the server's
+	// persistent evaluation cache. Sessions with different namespaces
+	// never see each other's measurements even when app, machine, and
+	// space coincide — the isolation a multi-tenant server needs when
+	// two tenants run the same benchmark with different build flags
+	// the space does not capture. Empty selects the shared namespace.
+	CacheNS string `json:"cache_ns,omitempty"`
 	// Parallel asks the server to fan independent proposals of one
 	// search round out to concurrent clients (the PRO use case):
 	// each fetch may receive a different configuration, identified by
@@ -107,6 +129,16 @@ type Message struct {
 
 	// report / best_reply
 	Perf float64 `json:"perf,omitempty"`
+	// PerfText carries Perf when it is not a finite number.
+	// encoding/json refuses to marshal ±Inf and NaN, yet the protocol
+	// meaningfully transports them: a client rejects an infeasible
+	// configuration by reporting +Inf (see DecodeSpace), and a
+	// forfeited proposal's penalty is +Inf. Send moves a non-finite
+	// Perf into this field ("+Inf", "-Inf", "NaN") and Recv moves it
+	// back, so both directions of the JSON line protocol round-trip
+	// every float64. The binary protocol encodes raw IEEE-754 bits and
+	// never uses this field.
+	PerfText string `json:"perf_text,omitempty"`
 
 	// error
 	Error string `json:"error,omitempty"`
@@ -168,7 +200,16 @@ type Conn struct {
 
 // NewConn frames messages over rw.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw), c: rw}
+	return NewConnReader(rw, bufio.NewReader(rw))
+}
+
+// NewConnReader frames messages over rw, reading through an existing
+// buffered reader. The server uses it after peeking at the first byte
+// of a connection to decide between the JSON line protocol and the
+// binary frame protocol: bytes already buffered in r must not be
+// lost.
+func NewConnReader(rw io.ReadWriteCloser, r *bufio.Reader) *Conn {
+	return &Conn{r: r, w: bufio.NewWriter(rw), c: rw}
 }
 
 // deadliner is the subset of net.Conn needed for I/O deadlines.
@@ -186,16 +227,54 @@ func (c *Conn) SetDeadline(t time.Time) error {
 	return nil
 }
 
-// Send writes one message.
+// Send writes one message. A non-finite Perf is transposed into
+// PerfText first (see that field); an encoding failure wraps
+// ErrMarshal so callers can distinguish it from transport faults.
 func (c *Conn) Send(m *Message) error {
+	if isNonFinite(m.Perf) {
+		// Marshal a shallow copy: the caller's message is not mutated.
+		cp := *m
+		cp.PerfText = formatNonFinite(cp.Perf)
+		cp.Perf = 0
+		m = &cp
+	}
 	data, err := json.Marshal(m)
 	if err != nil {
-		return fmt.Errorf("proto: marshal: %w", err)
+		return fmt.Errorf("proto: marshal: %w (%v)", ErrMarshal, err)
 	}
 	if _, err := c.w.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("proto: write: %w", err)
 	}
 	return c.w.Flush()
+}
+
+func isNonFinite(v float64) bool {
+	return math.IsInf(v, 0) || math.IsNaN(v)
+}
+
+func formatNonFinite(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return "NaN"
+	}
+}
+
+// parseNonFinite inverts formatNonFinite; any other text is a
+// protocol violation.
+func parseNonFinite(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return 0, fmt.Errorf("proto: bad perf_text %q", s)
 }
 
 // Recv reads one message. It returns io.EOF when the peer closed the
@@ -214,6 +293,13 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	if m.Type == "" {
 		return nil, fmt.Errorf("proto: message missing type")
+	}
+	if m.PerfText != "" {
+		v, err := parseNonFinite(m.PerfText)
+		if err != nil {
+			return nil, err
+		}
+		m.Perf, m.PerfText = v, ""
 	}
 	return &m, nil
 }

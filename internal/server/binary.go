@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+
+	"harmony/internal/proto"
+)
+
+// binWriteQueue bounds the reply frames queued per binary connection.
+// A client that pipelines requests faster than it drains replies
+// eventually fills the queue; the reader goroutine then blocks on the
+// enqueue and stops consuming the socket, so backpressure propagates
+// to the client's TCP window instead of growing server memory without
+// bound.
+const binWriteQueue = 128
+
+// handleBinary serves one connection speaking the binary frame
+// protocol (see proto/binary.go). Requests are pipelined: the reader
+// dispatches every message of every frame as it arrives and enqueues
+// the reply frame on a bounded write queue; a dedicated writer
+// goroutine flushes the socket only when the queue momentarily drains,
+// batching the replies of a burst into few syscalls. Replies carry the
+// frame ID and per-message Seq of their requests, so a client may keep
+// any number of frames in flight.
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+	if err := proto.ReadHandshake(br); err != nil {
+		s.Logf("harmony server: binary handshake: %v", err)
+		return
+	}
+	bw := bufio.NewWriter(conn)
+	if err := proto.WriteHandshake(bw); err != nil {
+		s.Logf("harmony server: binary handshake reply: %v", err)
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		s.Logf("harmony server: binary handshake reply: %v", err)
+		return
+	}
+
+	writeq := make(chan *proto.Frame, binWriteQueue)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		failed := false
+		fail := func(err error) {
+			failed = true
+			s.Logf("harmony server: binary send: %v", err)
+			// Unblock the reader, which is likely parked in ReadFrame:
+			// a connection that cannot carry replies is dead both ways.
+			_ = conn.Close()
+		}
+		for f := range writeq {
+			if failed {
+				continue // keep draining so the reader never blocks enqueueing
+			}
+			if err := proto.WriteFrame(bw, f); err != nil {
+				fail(err)
+				continue
+			}
+			// Flush only once no further frames are immediately queued,
+			// batching a pipelined burst's replies into few syscalls.
+			if len(writeq) == 0 {
+				if err := bw.Flush(); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(writeq)
+		wg.Wait()
+	}()
+	for {
+		f, err := proto.ReadFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				s.Logf("harmony server: binary recv: %v", err)
+			}
+			return
+		}
+		reply := &proto.Frame{ID: f.ID, Msgs: make([]*proto.Message, len(f.Msgs))}
+		for i, m := range f.Msgs {
+			r := s.dispatch(m)
+			r.Seq = m.Seq
+			reply.Msgs[i] = r
+		}
+		writeq <- reply
+	}
+}

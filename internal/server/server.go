@@ -39,6 +39,8 @@
 package server
 
 import (
+	"bufio"
+	"container/heap"
 	"fmt"
 	"io"
 	"log"
@@ -48,6 +50,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/history"
@@ -107,19 +110,29 @@ type Server struct {
 	// stored back; forfeits and failures never are.
 	Cache *history.EvalCache
 
-	stats    counters
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   int
-	ln       net.Listener
-	closed   bool
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
+	// Shards is the number of independent session shards (see
+	// shard.go). Each session lives on exactly one shard, selected by
+	// hashing its id, and every protocol message locks only that
+	// shard — no cross-shard locks exist on the dispatch path. Set
+	// before serving; <= 0 selects DefaultShards.
+	Shards int
+
+	stats      counters
+	shardsOnce sync.Once
+	shards     []*shard
+	nextID     atomic.Int64
+
+	mu     sync.Mutex // guards ln, closed, conns — never session state
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
 
 type session struct {
 	mu       sync.Mutex
 	id       string
+	num      int64 // numeric part of id: deadline-queue tie-break
 	app      string
 	space    *space.Space
 	strategy search.Strategy
@@ -155,9 +168,15 @@ type session struct {
 	nextTag  int
 
 	// cache is the session's view of the server's evaluation cache,
-	// bound to (app, machine, space) at register time; nil when the
-	// server has no cache.
+	// bound to (app, machine, namespace, space) at register time; nil
+	// when the server has no cache.
 	cache *history.BoundCache
+
+	// stragglerArmed records whether a straggler deadline entry for
+	// this session is queued on its shard. Guarded by the owning
+	// shard's mutex, NOT ss.mu (it belongs to the shard's deadline
+	// queue, which session methods never touch).
+	stragglerArmed bool
 }
 
 // tagIssue records one handed-out proposal of a parallel round.
@@ -195,10 +214,9 @@ func newFanoutRound(pts []space.Point) *fanoutRound {
 // New constructs a server with no sessions.
 func New() *Server {
 	return &Server{
-		Logf:     log.Printf,
-		Clock:    time.Now,
-		sessions: make(map[string]*session),
-		conns:    make(map[net.Conn]struct{}),
+		Logf:  log.Printf,
+		Clock: time.Now,
+		conns: make(map[net.Conn]struct{}),
 	}
 }
 
@@ -293,7 +311,22 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	pc := proto.NewConn(conn)
+	// Sniff the protocol: JSON line messages open with '{', the
+	// binary frame protocol opens with its handshake magic. One port
+	// serves both.
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		if err != io.EOF {
+			s.Logf("harmony server: peek: %v", err)
+		}
+		return
+	}
+	if first[0] == proto.BinMagic[0] {
+		s.handleBinary(conn, br)
+		return
+	}
+	pc := proto.NewConnReader(conn, br)
 	for {
 		msg, err := pc.Recv()
 		if err != nil {
@@ -315,7 +348,6 @@ func errorReply(format string, args ...any) *proto.Message {
 }
 
 func (s *Server) dispatch(msg *proto.Message) *proto.Message {
-	s.sweepExpired()
 	switch msg.Type {
 	case proto.TypeRegister:
 		return s.register(msg)
@@ -332,32 +364,6 @@ func (s *Server) dispatch(msg *proto.Message) *proto.Message {
 	default:
 		return errorReply("unknown message type %q", msg.Type)
 	}
-}
-
-// sweepExpired garbage-collects sessions whose lease lapsed. It runs
-// on every dispatch (cheap at realistic session counts) and from
-// ExpireNow, and returns how many sessions were collected.
-func (s *Server) sweepExpired() int {
-	if s.SessionTimeout <= 0 {
-		return 0
-	}
-	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, id := range sortedSessionIDs(s.sessions) {
-		ss := s.sessions[id]
-		ss.mu.Lock()
-		idle := now.Sub(ss.lastActive)
-		ss.mu.Unlock()
-		if idle > s.SessionTimeout {
-			delete(s.sessions, id)
-			s.stats.sessionsExpired.Add(1)
-			n++
-			s.Logf("harmony server: session %s lease expired after %v idle", id, idle)
-		}
-	}
-	return n
 }
 
 // sortedSessionIDs returns the ids of the session table in
@@ -380,26 +386,59 @@ func sortedSessionIDs(sessions map[string]*session) []string {
 	return ids
 }
 
-// ExpireNow applies lease and straggler deadlines immediately and
-// returns the number of sessions garbage-collected. Deadlines are
-// otherwise applied lazily when a message for the session arrives;
-// operators with long quiet periods (harmonyd's stats ticker) and
-// tests call this to make abandoned sessions and rounds progress
-// without client traffic.
+// ExpireNow applies lease and straggler deadlines immediately across
+// every shard and returns the number of sessions garbage-collected.
+// Deadlines are otherwise applied incrementally per shard when a
+// message arrives (see expireDue); operators with long quiet periods
+// (harmonyd's stats ticker) and tests call this to make abandoned
+// sessions and rounds progress without client traffic. The sweep
+// visits sessions in registration order across all shards, so expiry
+// logs and counters stay reproducible.
 func (s *Server) ExpireNow() int {
-	n := s.sweepExpired()
-	s.mu.Lock()
-	live := make([]*session, 0, len(s.sessions))
-	for _, id := range sortedSessionIDs(s.sessions) {
-		live = append(live, s.sessions[id])
+	now := s.now()
+	shards := s.shardTable()
+	all := make(map[string]*session)
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for id, ss := range sh.sessions {
+			all[id] = ss
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
-	for _, ss := range live {
-		ss.mu.Lock()
-		ss.expireStragglersLocked(ss.now())
-		ss.mu.Unlock()
+	n := 0
+	for _, id := range sortedSessionIDs(all) {
+		if s.expireOne(all[id], now) {
+			n++
+		}
 	}
 	return n
+}
+
+// expireOne applies lease then straggler deadlines to one session,
+// returning whether it was garbage-collected. Takes the session's
+// shard lock, so concurrent dispatches stay correct.
+func (s *Server) expireOne(ss *session, now time.Time) bool {
+	sh := s.shardFor(ss.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[ss.id]; !ok {
+		return false // collected since the snapshot
+	}
+	if s.SessionTimeout > 0 {
+		ss.mu.Lock()
+		last := ss.effectiveLastActiveLocked(now)
+		ss.mu.Unlock()
+		if idle := now.Sub(last); idle > s.SessionTimeout {
+			delete(sh.sessions, ss.id)
+			s.stats.sessionsExpired.Add(1)
+			s.Logf("harmony server: session %s lease expired after %v idle", ss.id, idle)
+			return true
+		}
+	}
+	ss.mu.Lock()
+	ss.expireStragglersLocked(now)
+	ss.mu.Unlock()
+	return false
 }
 
 func (s *Server) register(msg *proto.Message) *proto.Message {
@@ -415,6 +454,7 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 	if reporters <= 0 {
 		reporters = 1
 	}
+	now := s.now()
 	ss := &session{
 		id: "", app: msg.App, space: sp, strategy: strat,
 		reporters: reporters, maxRuns: msg.MaxRuns,
@@ -422,21 +462,26 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 		reportTimeout: s.ReportTimeout,
 		maxReissues:   s.MaxReissues,
 		stats:         &s.stats,
-		lastActive:    s.now(),
+		lastActive:    now,
 	}
 	if msg.Parallel {
 		ss.parallel = true
 		ss.batch = search.AsBatch(strat)
 	}
 	if s.Cache != nil {
-		ss.cache = s.Cache.Bound(msg.App, msg.Machine, sp)
+		ss.cache = s.Cache.BoundNS(msg.App, msg.Machine, msg.CacheNS, sp)
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := "s" + strconv.Itoa(s.nextID)
-	ss.id = id
-	s.sessions[id] = ss
-	s.mu.Unlock()
+	num := s.nextID.Add(1)
+	id := "s" + strconv.FormatInt(num, 10)
+	ss.id, ss.num = id, num
+	sh := s.shardFor(id)
+	s.expireDue(sh, now)
+	sh.mu.Lock()
+	sh.sessions[id] = ss
+	if s.SessionTimeout > 0 {
+		heap.Push(&sh.dq, deadlineEntry{at: now.Add(s.SessionTimeout), num: num, id: id, kind: leaseEntry})
+	}
+	sh.mu.Unlock()
 	s.Logf("harmony server: registered session %s app=%q strategy=%s dims=%d", id, msg.App, strat.Name(), sp.Dims())
 	return &proto.Message{Type: proto.TypeRegistered, Session: id}
 }
@@ -472,20 +517,27 @@ func buildStrategy(msg *proto.Message, sp *space.Space) (search.Strategy, error)
 }
 
 func (s *Server) withSession(msg *proto.Message, fn func(*session, *proto.Message) *proto.Message) *proto.Message {
-	s.mu.Lock()
-	ss, ok := s.sessions[msg.Session]
-	s.mu.Unlock()
+	sh := s.shardFor(msg.Session)
+	s.expireDue(sh, s.now())
+	sh.mu.Lock()
+	ss, ok := sh.sessions[msg.Session]
+	sh.mu.Unlock()
 	if !ok {
 		return errorReply("unknown session %q", msg.Session)
 	}
-	return fn(ss, msg)
+	reply := fn(ss, msg)
+	// The message may have issued new work (a pending configuration,
+	// round proposals): make sure a straggler deadline is queued.
+	s.armStraggler(sh, ss)
+	return reply
 }
 
 func (s *Server) done(msg *proto.Message) *proto.Message {
-	s.mu.Lock()
-	_, ok := s.sessions[msg.Session]
-	delete(s.sessions, msg.Session)
-	s.mu.Unlock()
+	sh := s.shardFor(msg.Session)
+	sh.mu.Lock()
+	_, ok := sh.sessions[msg.Session]
+	delete(sh.sessions, msg.Session)
+	sh.mu.Unlock()
 	if !ok {
 		return errorReply("unknown session %q", msg.Session)
 	}
@@ -738,29 +790,46 @@ func (ss *session) fetchParallelLocked(now time.Time) *proto.Message {
 			ss.maybeRetireRoundLocked()
 		}
 	}
-	r := ss.round
-	pos := -1
-	for i := range r.pts {
-		if r.count[i] >= ss.reporters {
+	for ss.round != nil {
+		r := ss.round
+		pos := -1
+		for i := range r.pts {
+			if r.count[i] >= ss.reporters {
+				continue
+			}
+			if pos == -1 || r.assigned[i] < r.assigned[pos] {
+				pos = i
+			}
+		}
+		if pos == -1 {
+			// Unreachable: a completed round is retired in report and in
+			// expireRoundLocked before reaching here.
+			return errorReply("fetch: session %s round already complete", ss.id)
+		}
+		cfg, err := ss.space.Decode(r.pts[pos])
+		if err != nil {
+			// An undecodable proposal can never be handed out, so no
+			// report and no straggler deadline would ever retire it:
+			// returning here without issuing a tag used to wedge the
+			// round forever. Forfeit the position immediately with the
+			// penalty value and move on to the next proposal (or the
+			// next round, once this forfeit completes it).
+			if r.worst[pos] == math.Inf(-1) {
+				r.worst[pos] = penaltyValue
+			}
+			r.count[pos] = ss.reporters
+			r.complete++
+			ss.stat().proposalsForfeited.Add(1)
+			ss.maybeRetireRoundLocked()
 			continue
 		}
-		if pos == -1 || r.assigned[i] < r.assigned[pos] {
-			pos = i
-		}
+		r.assigned[pos]++
+		ss.nextTag++
+		r.tags[ss.nextTag] = &tagIssue{pos: pos, issued: now}
+		return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Tag: ss.nextTag}
 	}
-	if pos == -1 {
-		// Unreachable: a completed round is retired in report and in
-		// expireRoundLocked before reaching here.
-		return errorReply("fetch: session %s round already complete", ss.id)
-	}
-	cfg, err := ss.space.Decode(r.pts[pos])
-	if err != nil {
-		return errorReply("fetch: %v", err)
-	}
-	r.assigned[pos]++
-	ss.nextTag++
-	r.tags[ss.nextTag] = &tagIssue{pos: pos, issued: now}
-	return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Tag: ss.nextTag}
+	// The current round was fully forfeited above: pull the next one.
+	return ss.fetchParallelLocked(now)
 }
 
 // reportParallelLocked matches a tagged report to its proposal.
@@ -786,8 +855,17 @@ func (ss *session) reportParallelLocked(msg *proto.Message) *proto.Message {
 	}
 	r.count[pos]++
 	ss.stat().reportsAccepted.Add(1)
-	if msg.Perf > r.worst[pos] {
-		r.worst[pos] = msg.Perf
+	// Sanitize at ingress: NaN compares false with everything, so an
+	// unsanitized NaN report would leave worst at its -Inf sentinel
+	// and deliver a best-ever value to the strategy when the proposal
+	// completes. A client that measured NaN measured nothing: treat
+	// it like a forfeit.
+	perf := msg.Perf
+	if math.IsNaN(perf) {
+		perf = penaltyValue
+	}
+	if perf > r.worst[pos] {
+		r.worst[pos] = perf
 	}
 	if r.count[pos] == ss.reporters {
 		r.complete++
@@ -820,7 +898,14 @@ func (ss *session) report(msg *proto.Message) *proto.Message {
 	if ss.pending == nil {
 		return errorReply("report: no configuration outstanding for session %s", ss.id)
 	}
-	ss.reports = append(ss.reports, msg.Perf)
+	// NaN sanitization, mirroring reportParallelLocked: NaN would
+	// lose every `>` comparison in finishPendingLocked and hand the
+	// strategy the -Inf aggregate sentinel as a measurement.
+	perf := msg.Perf
+	if math.IsNaN(perf) {
+		perf = penaltyValue
+	}
+	ss.reports = append(ss.reports, perf)
 	ss.stat().reportsAccepted.Add(1)
 	if len(ss.reports) < ss.reporters {
 		return &proto.Message{Type: proto.TypeOK}

@@ -60,9 +60,12 @@ type counters struct {
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	active := int64(len(s.sessions))
-	s.mu.Unlock()
+	var active int64
+	for _, sh := range s.shardTable() {
+		sh.mu.Lock()
+		active += int64(len(sh.sessions))
+		sh.mu.Unlock()
+	}
 	return Stats{
 		SessionsActive:      active,
 		SessionsExpired:     s.stats.sessionsExpired.Load(),
