@@ -23,6 +23,7 @@ import (
 	"harmony/internal/simmpi"
 	"harmony/internal/space"
 	"harmony/internal/sparse"
+	"harmony/internal/surrogate"
 	"harmony/internal/trace"
 )
 
@@ -578,5 +579,87 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 				b.ReportMetric(float64(configs)/b.Elapsed().Seconds(), "configs/sec")
 			})
 		}
+	}
+}
+
+// BenchmarkSurrogateCampaign measures what the surrogate layer buys:
+// the same candidate stream tuned with and without model-guided
+// pruning, on the two campaigns where evaluations are the cost. The
+// fig2-large campaign screens a 100-candidate random pool of 16-rank
+// band-matrix decompositions — the Section IV workload whose MatVec
+// made it the motivation for this layer — with the SLES LogGP
+// predictor at an aggressive keep fraction; the table3 campaign is
+// the GS2 resolution simplex with the registry defaults. The
+// surrogate=on sub-benchmarks report sim-runs (simulated evaluations
+// actually paid for) and evals-avoided-x (the paper-facing savings
+// ratio), and fail outright if the pruned campaign's best is worse
+// than the full campaign's: the layer must save evaluations, not
+// quality. Compare ns/op between off and on for the wall-clock
+// speedup.
+func BenchmarkSurrogateCampaign(b *testing.B) {
+	type campaign struct {
+		name string
+		sur  *core.SurrogateOptions
+		run  func(sur *core.SurrogateOptions) (*core.Result, error)
+	}
+	fig2App := petscsim.NewBandSLESApp(6000, 16, 4, 120, 2)
+	fig2M := cluster.Seaborg(16, 1)
+	table3Base := gs2.DefaultConfig()
+	table3Base.Steps = 10
+	campaigns := []campaign{
+		{
+			name: "fig2-large",
+			sur: &core.SurrogateOptions{
+				Model: surrogate.NewSLES(fig2App, fig2M), Keep: 0.1, Tolerance: 0.02},
+			run: func(sur *core.SurrogateOptions) (*core.Result, error) {
+				sp := fig2App.Space()
+				return core.Tune(context.Background(), sp,
+					search.NewRandom(sp, 11, 100),
+					fig2App.Objective(fig2M), core.Options{Surrogate: sur})
+			},
+		},
+		{
+			name: "table3",
+			sur:  &core.SurrogateOptions{Model: surrogate.For("table3-gs2")},
+			run: func(sur *core.SurrogateOptions) (*core.Result, error) {
+				sp := gs2.ResolutionSpace(64)
+				return core.Tune(context.Background(), sp,
+					search.NewSimplex(sp, search.SimplexOptions{
+						Start: gs2.ResolutionStart(sp, 16, 26, 32), StepFraction: 0.5, Restarts: 12}),
+					gs2.ResolutionObjective(gs2.LinuxCluster, table3Base),
+					core.Options{MaxProposals: 200, Surrogate: sur})
+			},
+		},
+	}
+	for _, c := range campaigns {
+		c := c
+		baseline, err := c.run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/surrogate=off", func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				if res, err = c.run(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Runs), "sim-runs")
+		})
+		b.Run(c.name+"/surrogate=on", func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				if res, err = c.run(c.sur); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res.BestValue > baseline.BestValue {
+				b.Fatalf("surrogate lost quality: best %v, full campaign %v",
+					res.BestValue, baseline.BestValue)
+			}
+			b.ReportMetric(float64(res.Runs), "sim-runs")
+			b.ReportMetric(float64(res.SurrogatePruned), "pruned")
+			b.ReportMetric(float64(baseline.Runs)/float64(res.Runs), "evals-avoided-x")
+		})
 	}
 }

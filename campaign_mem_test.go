@@ -2,6 +2,7 @@ package harmony_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -19,32 +20,39 @@ import (
 // ceiling is ~2x the measured steady state at the time the workspace
 // layer landed, so a regression that reintroduces per-iteration
 // allocation (each run is 40 CG iterations) trips it with a wide
-// margin before it reaches per-iteration scale.
+// margin before it reaches per-iteration scale. Both fan-out widths
+// are pinned: more workers mean more worlds and workspaces in flight,
+// but all of them pool, so the per-run cost must stay flat.
 func TestCampaignSteadyStateHeapCeiling(t *testing.T) {
-	campaign := func() int {
-		app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
-		m := cluster.Seaborg(4, 1)
-		sp := app.Space()
-		res, err := core.Tune(context.Background(), sp,
-			search.NewPRO(sp, search.PROOptions{Seed: 11}),
-			app.Objective(m), core.Options{MaxRuns: 40, Workers: 4})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Runs
-	}
+	for _, workers := range []int{4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			campaign := func() int {
+				app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
+				m := cluster.Seaborg(4, 1)
+				sp := app.Space()
+				res, err := core.Tune(context.Background(), sp,
+					search.NewPRO(sp, search.PROOptions{Seed: 11}),
+					app.Objective(m), core.Options{MaxRuns: 40, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Runs
+			}
 
-	campaign() // warm the world pool, plan cache paths, and workspaces
+			campaign() // warm the world pool, plan cache paths, and workspaces
 
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	runs := campaign()
-	runtime.ReadMemStats(&after)
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			runs := campaign()
+			runtime.ReadMemStats(&after)
 
-	perRun := (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
-	const ceiling = 400 << 10 // bytes per run; measured ~174KB at landing
-	t.Logf("steady-state campaign allocates %d bytes per run (%d runs)", perRun, runs)
-	if perRun > ceiling {
-		t.Errorf("steady-state campaign allocates %d bytes per run, ceiling %d", perRun, ceiling)
+			perRun := (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
+			const ceiling = 400 << 10 // bytes per run; measured ~174KB at landing
+			t.Logf("steady-state campaign allocates %d bytes per run (%d runs)", perRun, runs)
+			if perRun > ceiling {
+				t.Errorf("steady-state campaign allocates %d bytes per run, ceiling %d", perRun, ceiling)
+			}
+		})
 	}
 }

@@ -16,11 +16,19 @@
 // protocols: the JSON line protocol and the pipelined binary frame
 // protocol, distinguished by the first byte each connection sends.
 //
+// With -surrogate the server screens proposals of sessions that
+// registered with the surrogate flag through the analytic performance
+// models of the case-study workloads: confidently-worse configurations
+// are answered to the search at their predicted value without being
+// handed to any client, and best replies always come from genuine
+// measurements. -surrogate-keep sets the default fraction of each
+// round that is actually evaluated.
+//
 // Usage:
 //
 //	harmonyd [-addr host:port] [-quiet] [-cache file] [-shards n]
 //	         [-session-timeout d] [-report-timeout d] [-max-reissues n]
-//	         [-stats-interval d]
+//	         [-stats-interval d] [-surrogate] [-surrogate-keep f]
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"harmony/internal/history"
 	"harmony/internal/server"
+	"harmony/internal/surrogate"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func main() {
 	maxReissues := flag.Int("max-reissues", 0, "straggler re-issues before a configuration is forfeited (0 = default)")
 	statsInterval := flag.Duration("stats-interval", 0, "dump server counters (and apply deadlines) this often (0 = only on shutdown)")
 	shards := flag.Int("shards", 0, "session-table shards; higher values reduce lock contention under many tenants (0 = default)")
+	surrogateOn := flag.Bool("surrogate", false, "screen proposals of surrogate-flagged sessions with the analytic models of the case-study workloads")
+	surrogateKeep := flag.Float64("surrogate-keep", 0, "default fraction of each proposal round surrogate sessions actually evaluate, 0 < keep <= 1 (0 = built-in default)")
 	flag.Parse()
 
 	s := server.New()
@@ -54,6 +65,10 @@ func main() {
 	s.ReportTimeout = *reportTimeout
 	s.MaxReissues = *maxReissues
 	s.Shards = *shards
+	if *surrogateOn {
+		s.Surrogate = surrogate.For
+		s.SurrogateKeep = *surrogateKeep
+	}
 
 	var evalCache *history.EvalCache
 	if *cachePath != "" {

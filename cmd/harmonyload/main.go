@@ -83,10 +83,12 @@ func main() {
 	}
 
 	target := *addr
+	effectiveShards := *shards
 	if target == "" {
 		s := server.New()
 		s.Logf = func(string, ...any) {}
 		s.Shards = *shards
+		effectiveShards = recordedShards(s, *shards)
 		errc := make(chan error, 1)
 		go func() { errc <- s.ListenAndServe("127.0.0.1:0") }()
 		for s.Addr() == nil {
@@ -105,7 +107,7 @@ func main() {
 		Bench:    "harmonyload",
 		Sessions: *sessions,
 		MaxRuns:  *maxRuns,
-		Shards:   *shards,
+		Shards:   effectiveShards,
 		Conns:    *conns,
 		Results:  make(map[string]protoResult),
 	}
@@ -143,6 +145,18 @@ func main() {
 		}
 		fmt.Printf("harmonyload: wrote %s\n", *out)
 	}
+}
+
+// recordedShards returns the shard count the benchmark output should
+// record. For an in-process server it is the effective count — the
+// server substitutes its default when the flag is 0, and writing the
+// raw flag used to claim "shards": 0 for a 16-shard run. For a remote
+// server (nil here) the flag is all we know.
+func recordedShards(s *server.Server, flagShards int) int {
+	if s == nil {
+		return flagShards
+	}
+	return s.ShardCount()
 }
 
 // loadSpace is the campaign's tunable space: large enough that random

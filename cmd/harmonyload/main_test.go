@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"harmony/internal/server"
+)
+
+// TestRecordedShardsEffectiveCount pins the benchmark-JSON fix: when
+// the -shards flag is 0 the in-process server runs with its default
+// shard count, and the output must record that effective value, not
+// the raw flag.
+func TestRecordedShardsEffectiveCount(t *testing.T) {
+	s := server.New()
+	s.Shards = 0
+	if got := recordedShards(s, 0); got != server.DefaultShards {
+		t.Errorf("recordedShards(default server, 0) = %d, want %d", got, server.DefaultShards)
+	}
+
+	s4 := server.New()
+	s4.Shards = 4
+	if got := recordedShards(s4, 4); got != 4 {
+		t.Errorf("recordedShards(4-shard server, 4) = %d, want 4", got)
+	}
+
+	// A remote server's topology is invisible: the flag stands.
+	if got := recordedShards(nil, 7); got != 7 {
+		t.Errorf("recordedShards(nil, 7) = %d, want 7", got)
+	}
+}

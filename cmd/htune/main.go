@@ -63,6 +63,7 @@ import (
 	"harmony/internal/proto"
 	"harmony/internal/search"
 	"harmony/internal/space"
+	"harmony/internal/surrogate"
 )
 
 // Spec is the htune input file.
@@ -84,13 +85,15 @@ type Spec struct {
 
 // cliOptions collects the command-line knobs passed down to run.
 type cliOptions struct {
-	historyPath string
-	cachePath   string
-	cacheNS     string
-	workers     int
-	runTimeout  time.Duration
-	metrics     bool
-	verbose     bool
+	historyPath   string
+	cachePath     string
+	cacheNS       string
+	workers       int
+	runTimeout    time.Duration
+	surrogate     bool
+	surrogateKeep float64
+	metrics       bool
+	verbose       bool
 }
 
 func main() {
@@ -101,13 +104,15 @@ func main() {
 	flag.StringVar(&opts.cacheNS, "cache-ns", "", "evaluation-cache namespace: campaigns in different namespaces never share measurements (empty = shared)")
 	flag.IntVar(&opts.workers, "workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
 	flag.DurationVar(&opts.runTimeout, "run-timeout", 0, "kill a benchmarking run exceeding this and count it failed (0 = no limit)")
+	flag.BoolVar(&opts.surrogate, "surrogate", false, "screen proposals with the analytic performance model for the spec's app: only the top-ranked fraction of each round is actually run (errors when no model covers the app)")
+	flag.Float64Var(&opts.surrogateKeep, "surrogate-keep", 0, "fraction of each proposal round the surrogate actually runs, 0 < keep <= 1 (0 = default)")
 	flag.BoolVar(&opts.metrics, "metrics", false, "append a machine-readable htune.<name> <value> summary")
 	flag.BoolVar(&opts.verbose, "v", false, "log each run")
 	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile of the tuning session to this file")
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile taken at session end to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-cache-ns name] [-workers N] [-run-timeout d] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-cache-ns name] [-workers N] [-run-timeout d] [-surrogate] [-surrogate-keep f] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
 		os.Exit(2)
 	}
 	stopProfiles, err := startProfiles(cpuprofile, memprofile)
@@ -202,6 +207,13 @@ func run(specPath string, cli cliOptions) error {
 		spec.Workers = cli.workers
 	}
 	opt := core.Options{MaxRuns: spec.MaxRuns, Workers: spec.Workers}
+	if cli.surrogate {
+		model := surrogate.For(spec.App)
+		if model == nil {
+			return fmt.Errorf("-surrogate: no analytic model covers app %q", spec.App)
+		}
+		opt.Surrogate = &core.SurrogateOptions{Model: model, Keep: cli.surrogateKeep}
+	}
 	var evalCache *history.EvalCache
 	if cli.cachePath != "" {
 		evalCache, err = history.OpenEvalCache(cli.cachePath)
@@ -233,6 +245,10 @@ func run(specPath string, cli cliOptions) error {
 	fmt.Printf("  total tuning cost: %.1f s of application time\n", res.TuningCost)
 	if res.SpeculativeRuns > 0 {
 		fmt.Printf("  speculative runs: %d launched ahead of need, %d used\n", res.SpeculativeRuns, res.SpeculativeHits)
+	}
+	if cli.surrogate {
+		fmt.Printf("  surrogate: %d proposals pruned by the model, %d run, %d fallbacks\n",
+			res.SurrogatePruned, res.SurrogateKept, res.SurrogateFallbacks)
 	}
 	if evalCache != nil {
 		fmt.Printf("  evaluation cache: %d hits, %d misses (%d entries)\n", res.CacheHits, res.CacheMisses, evalCache.Len())
@@ -270,6 +286,9 @@ func writeMetrics(w io.Writer, spec Spec, res *core.Result) {
 	fmt.Fprintf(w, "htune.tuning_cost_s %g\n", res.TuningCost)
 	fmt.Fprintf(w, "htune.cache.hits %d\n", res.CacheHits)
 	fmt.Fprintf(w, "htune.cache.misses %d\n", res.CacheMisses)
+	fmt.Fprintf(w, "htune.surrogate.pruned %d\n", res.SurrogatePruned)
+	fmt.Fprintf(w, "htune.surrogate.kept %d\n", res.SurrogateKept)
+	fmt.Fprintf(w, "htune.surrogate.fallbacks %d\n", res.SurrogateFallbacks)
 	best := res.BestConfig.Map()
 	names := make([]string, 0, len(best))
 	for name := range best {

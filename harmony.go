@@ -48,6 +48,7 @@ import (
 	"harmony/internal/search"
 	"harmony/internal/server"
 	"harmony/internal/space"
+	"harmony/internal/surrogate"
 )
 
 // Parameter-space types.
@@ -146,7 +147,23 @@ type (
 	Result = core.Result
 	// Trial is one strategy proposal and its outcome.
 	Trial = core.Trial
+	// Surrogate predicts a configuration's objective analytically;
+	// plug one into SurrogateOptions to prune evaluations.
+	Surrogate = core.Surrogate
+	// SurrogateOptions configure model-guided evaluation pruning
+	// (Options.Surrogate): only the keep fraction of each proposal
+	// round the model ranks best is simulated, near-ties within the
+	// tolerance are simulated anyway, and reported results are always
+	// genuine measurements.
+	SurrogateOptions = core.SurrogateOptions
 )
+
+// SurrogateFor resolves an application name to the built-in analytic
+// predictor of the matching case-study workload (Fig. 2 SLES, Table 3
+// GS2, Fig. 4 POP), or nil when no model covers the name. Pass the
+// result to SurrogateOptions.Model, or to Server.Surrogate for
+// server-side screening.
+func SurrogateFor(app string) Surrogate { return surrogate.For(app) }
 
 // Tune drives a strategy against an objective: the off-line iterative
 // tuning mode the paper adds to Active Harmony. Evaluations are

@@ -140,6 +140,17 @@ type Registration struct {
 	// evaluation cache; sessions in different namespaces never share
 	// measurements. Empty selects the shared namespace.
 	CacheNS string
+	// Surrogate asks the server to screen proposals with its analytic
+	// performance model for App, when it has one: configurations the
+	// model ranks confidently worse are answered to the search at their
+	// predicted value without ever being fetched by a client. Best
+	// always returns a genuinely measured configuration. Servers
+	// without a model for App ignore the flag.
+	Surrogate bool
+	// SurrogateKeep is the fraction of proposals to actually evaluate
+	// when Surrogate is set (0 < keep <= 1); 0 selects the server's
+	// default.
+	SurrogateKeep float64
 }
 
 // Session is a registered tuning session.
@@ -156,16 +167,18 @@ func (c *Client) Register(reg Registration) (*Session, error) {
 		return nil, fmt.Errorf("client: registration needs a parameter space")
 	}
 	msg := &proto.Message{
-		Type:      proto.TypeRegister,
-		App:       reg.App,
-		Machine:   reg.Machine,
-		Strategy:  reg.Strategy,
-		Space:     proto.EncodeSpace(reg.Space),
-		MaxRuns:   reg.MaxRuns,
-		Reporters: reg.Reporters,
-		Parallel:  reg.Parallel,
-		Seed:      reg.Seed,
-		CacheNS:   reg.CacheNS,
+		Type:          proto.TypeRegister,
+		App:           reg.App,
+		Machine:       reg.Machine,
+		Strategy:      reg.Strategy,
+		Space:         proto.EncodeSpace(reg.Space),
+		MaxRuns:       reg.MaxRuns,
+		Reporters:     reg.Reporters,
+		Parallel:      reg.Parallel,
+		Seed:          reg.Seed,
+		CacheNS:       reg.CacheNS,
+		Surrogate:     reg.Surrogate,
+		SurrogateKeep: reg.SurrogateKeep,
 	}
 	reply, err := c.roundTrip(msg)
 	if err != nil {

@@ -238,16 +238,18 @@ func (m *Mux) Register(reg Registration) (*MuxSession, error) {
 		return nil, fmt.Errorf("client: registration needs a parameter space")
 	}
 	reply, err := m.Call(&proto.Message{
-		Type:      proto.TypeRegister,
-		App:       reg.App,
-		Machine:   reg.Machine,
-		Strategy:  reg.Strategy,
-		Space:     proto.EncodeSpace(reg.Space),
-		MaxRuns:   reg.MaxRuns,
-		Reporters: reg.Reporters,
-		Parallel:  reg.Parallel,
-		Seed:      reg.Seed,
-		CacheNS:   reg.CacheNS,
+		Type:          proto.TypeRegister,
+		App:           reg.App,
+		Machine:       reg.Machine,
+		Strategy:      reg.Strategy,
+		Space:         proto.EncodeSpace(reg.Space),
+		MaxRuns:       reg.MaxRuns,
+		Reporters:     reg.Reporters,
+		Parallel:      reg.Parallel,
+		Seed:          reg.Seed,
+		CacheNS:       reg.CacheNS,
+		Surrogate:     reg.Surrogate,
+		SurrogateKeep: reg.SurrogateKeep,
 	})
 	if err != nil {
 		return nil, err

@@ -66,6 +66,8 @@ type roundItem struct {
 	specHit  bool
 	cacheHit bool // answered by Options.Cache; charged like a fresh run
 	cacheVal float64
+	pruned   bool    // skipped by the surrogate model; never evaluated
+	score    float64 // the model's prediction for a pruned point
 }
 
 // TuneParallel drives the strategy against the objective with up to
@@ -109,6 +111,7 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 
 	bs := search.AsBatch(strat)
 	speculator, _ := bs.(search.Speculator)
+	sur := newSurrogateState(opt.Surrogate)
 
 	res := &Result{Strategy: strat.Name(), BestValue: math.Inf(1), FirstValue: math.NaN()}
 	memo := make(map[string]cacheEntry)      // charged evaluations
@@ -134,26 +137,51 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 			batch = batch[:rem]
 		}
 
+		// Decode the whole round up front: the surrogate (when
+		// configured) must score every proposal before any of them is
+		// classified, because the keep quota is a property of the
+		// round, not of a single point.
+		cfgs := make([]space.Config, len(batch))
+		for i, pt := range batch {
+			cfg, err := sp.Decode(pt)
+			if err != nil {
+				return res, fmt.Errorf("core: strategy %s proposed undecodable point %v: %w", strat.Name(), pt, err)
+			}
+			cfgs[i] = cfg
+		}
+		var scores []float64
+		var keep []bool
+		surRound := false
+		if sur != nil {
+			if s, ok := sur.scoreBatch(batch, cfgs); ok {
+				scores, keep, surRound = s, sur.keepMask(s), true
+			} else {
+				// Low-confidence model: simulate the whole round.
+				res.SurrogateFallbacks++
+			}
+		}
+
 		// Classify the round in proposal order. Fresh evaluations and
 		// speculative hits consume run budget; the round is truncated
 		// before the first proposal the budget cannot cover, so
-		// in-flight work can never exceed MaxRuns.
+		// in-flight work can never exceed MaxRuns. Pruned proposals
+		// consume no budget: they cost no run.
 		items := make([]roundItem, 0, len(batch))
 		leaderAt := make(map[string]int)
 		var freshJobs []*evalJob
 		budgetRuns := res.Runs
 		truncated := false
-		for _, pt := range batch {
+		for bi, pt := range batch {
 			key := pt.Key()
-			cfg, err := sp.Decode(pt)
-			if err != nil {
-				return res, fmt.Errorf("core: strategy %s proposed undecodable point %v: %w", strat.Name(), pt, err)
-			}
+			cfg := cfgs[bi]
 			it := roundItem{pt: pt, key: key, cfg: cfg, leader: -1}
 			if _, ok := memo[key]; ok {
 				it.memoHit = true
 			} else if lead, ok := leaderAt[key]; ok {
 				it.leader = lead
+			} else if surRound && !keep[bi] {
+				it.pruned, it.score = true, scores[bi]
+				leaderAt[key] = len(items)
 			} else {
 				if opt.MaxRuns > 0 && budgetRuns >= opt.MaxRuns {
 					truncated = true
@@ -161,6 +189,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 				}
 				budgetRuns++
 				leaderAt[key] = len(items)
+				if surRound {
+					sur.committed(scores[bi])
+				}
 				if _, ok := specReady[key]; ok {
 					it.specHit = true
 				} else if cv, ok := lookupCache(opt, pt); ok {
@@ -285,6 +316,27 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 		lastRecorded := -1
 		for i := range items {
 			it := &items[i]
+			// A pruned proposal (or an in-round duplicate of one) is
+			// answered with the model's prediction: recorded in the
+			// trial log, reported to the strategy so the search can
+			// move on, but charged to no account and never eligible
+			// for Best, FirstValue, StopBelow, or any cache.
+			if lead := it.leader; it.pruned || (lead >= 0 && items[lead].pruned) {
+				score := it.score
+				if !it.pruned {
+					score = items[lead].score
+				}
+				res.Proposals++
+				res.SurrogatePruned++
+				res.Trials = append(res.Trials, Trial{
+					Proposal: res.Proposals, Point: it.pt.Clone(), Config: it.cfg,
+					Value: score, Pruned: true,
+				})
+				rPts = append(rPts, it.pt)
+				rVals = append(rVals, score)
+				lastRecorded = i
+				continue
+			}
 			var v float64
 			var verr error
 			fresh := !it.memoHit && it.leader < 0
@@ -324,6 +376,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 			} else {
 				res.Runs++
 				trial.Run = res.Runs
+				if surRound {
+					res.SurrogateKept++
+				}
 				if opt.Cache != nil && !it.cacheHit {
 					res.CacheMisses++
 				}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+
+	"harmony/internal/space"
+)
+
+// Surrogate predicts the objective value of a configuration
+// analytically — from a closed-form performance model of the
+// application and machine — without running anything. The tuning
+// engines use the prediction only to decide *what to evaluate*: a
+// configuration the model ranks poorly may be skipped, but every
+// value the session reports (Best, FirstValue, the measured trial
+// log, the evaluation caches) comes from a genuine objective run.
+//
+// Predictions must be deterministic pure functions of the point: the
+// engines may score the same point repeatedly and on any goroutine.
+type Surrogate interface {
+	// Predict returns the model's predicted objective value for the
+	// configuration, in the objective's own units (lower is better).
+	// The prediction must be a positive finite number; returning
+	// ok=false declares the point outside the model's competence, and
+	// the engine falls back to fully simulating the round containing
+	// it.
+	Predict(pt space.Point, cfg space.Config) (float64, bool)
+}
+
+// SurrogateOptions attach a performance-model surrogate to a tuning
+// session (Options.Surrogate). The engine scores every proposed round
+// with the model and simulates only the fraction the model ranks
+// best; the rest are pruned — reported to the search strategy at
+// their predicted value, flagged Trial.Pruned, and never charged to
+// Runs, TuningCost, Best, or the evaluation caches.
+type SurrogateOptions struct {
+	// Model scores candidate configurations. Nil disables the layer.
+	Model Surrogate
+	// Keep is the fraction of each proposed batch to actually
+	// simulate, 0 < Keep <= 1. The engine always simulates at least
+	// one point per batch. 0 selects DefaultSurrogateKeep.
+	Keep float64
+	// Tolerance is the ranking-confidence gate: a candidate whose
+	// predicted value is within Tolerance (relative) of the keep
+	// threshold is simulated anyway, because the model cannot
+	// confidently order near-ties. 0 selects
+	// DefaultSurrogateTolerance; a large Tolerance degrades toward
+	// full simulation.
+	Tolerance float64
+}
+
+// Default surrogate parameters: simulate the top fifth of each round,
+// and treat predictions within 5% of the threshold as ties the model
+// cannot confidently order.
+const (
+	DefaultSurrogateKeep      = 0.2
+	DefaultSurrogateTolerance = 0.05
+)
+
+// surrogateState is the per-session pruning state shared by the
+// engines.
+type surrogateState struct {
+	model Surrogate
+	keep  float64
+	tol   float64
+	// modelBest is the smallest model score among configurations the
+	// session has committed to simulate; the single-proposal keep rule
+	// compares against it.
+	modelBest float64
+}
+
+// newSurrogateState validates the options and returns nil when the
+// layer is disabled.
+func newSurrogateState(opt *SurrogateOptions) *surrogateState {
+	if opt == nil || opt.Model == nil {
+		return nil
+	}
+	s := &surrogateState{model: opt.Model, keep: opt.Keep, tol: opt.Tolerance, modelBest: math.Inf(1)}
+	if s.keep <= 0 || s.keep > 1 {
+		s.keep = DefaultSurrogateKeep
+	}
+	if s.tol <= 0 {
+		s.tol = DefaultSurrogateTolerance
+	}
+	return s
+}
+
+// scoreBatch predicts every point of a round. It returns ok=false —
+// demanding full simulation of the round — when the model declines
+// any point or returns a non-positive or non-finite score.
+func (s *surrogateState) scoreBatch(pts []space.Point, cfgs []space.Config) ([]float64, bool) {
+	scores := make([]float64, len(pts))
+	for i := range pts {
+		v, ok := s.model.Predict(pts[i], cfgs[i])
+		if !ok || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, false
+		}
+		scores[i] = v
+	}
+	return scores, true
+}
+
+// keepMask decides which points of a scored round to simulate. Rounds
+// of one (sequential strategies) keep the point unless the model
+// ranks it confidently worse than the best configuration the session
+// has already committed to simulate; larger rounds keep the
+// top ceil(Keep×n) scores plus every near-tie within Tolerance of the
+// cut. The decision depends only on the scores, so it is identical
+// for every worker count.
+func (s *surrogateState) keepMask(scores []float64) []bool {
+	keep := make([]bool, len(scores))
+	if len(scores) == 1 {
+		keep[0] = math.IsInf(s.modelBest, 1) || scores[0] <= s.modelBest*(1+s.tol)
+		return keep
+	}
+	k := int(math.Ceil(s.keep * float64(len(scores))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	sorted := append([]float64(nil), scores...)
+	// Insertion sort: rounds are small (a PRO population, a sampler
+	// stride) and this avoids pulling in package sort for a hot path.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	cut := sorted[k-1] * (1 + s.tol)
+	for i, v := range scores {
+		keep[i] = v <= cut
+	}
+	return keep
+}
+
+// committed records that the session will simulate a configuration
+// the model scored; the single-proposal rule prunes against the best
+// such score.
+func (s *surrogateState) committed(score float64) {
+	if score < s.modelBest {
+		s.modelBest = score
+	}
+}
+
+// SurrogateGate exposes the pruning decision rules to other engines —
+// the on-line tuning server prunes its fetch path with exactly the
+// rules TuneParallel applies to its rounds, so the off-line and
+// on-line modes skip the same configurations for the same model.
+type SurrogateGate struct {
+	st *surrogateState
+}
+
+// NewSurrogateGate validates the options and returns nil when the
+// layer is disabled (nil options or model).
+func NewSurrogateGate(opt *SurrogateOptions) *SurrogateGate {
+	st := newSurrogateState(opt)
+	if st == nil {
+		return nil
+	}
+	return &SurrogateGate{st: st}
+}
+
+// Score predicts one configuration, applying the same validity rules
+// as the engine: ok=false demands full simulation of the containing
+// round.
+func (g *SurrogateGate) Score(pt space.Point, cfg space.Config) (float64, bool) {
+	v, ok := g.st.model.Predict(pt, cfg)
+	if !ok || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Keep returns the simulate/prune mask for a fully scored round: the
+// batch quota rule for rounds of two or more, the committed-best rule
+// for rounds of one.
+func (g *SurrogateGate) Keep(scores []float64) []bool { return g.st.keepMask(scores) }
+
+// Committed records that a scored configuration will be simulated.
+func (g *SurrogateGate) Committed(score float64) { g.st.committed(score) }

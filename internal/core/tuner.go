@@ -61,6 +61,18 @@ type Options struct {
 	// are never cached: a configuration that crashed is re-attempted
 	// by every session that proposes it.
 	Cache PointCache
+	// Surrogate, if non-nil with a Model, turns on model-guided
+	// evaluation pruning: every proposed round is scored analytically
+	// and only the fraction the model ranks best is simulated. Pruned
+	// proposals are answered to the search strategy at their predicted
+	// value and recorded as Trial.Pruned, but are never charged to
+	// Runs or TuningCost, never stored in any cache, and never
+	// eligible for Best, FirstValue, or StopBelow: the surrogate
+	// chooses what to evaluate, never what to report. Sessions with a
+	// surrogate always run on the parallel engine (at Workers=1 when
+	// unset), so pruning decisions are identical for every worker
+	// count.
+	Surrogate *SurrogateOptions
 	// Workers is the number of objective evaluations the engine may
 	// have in flight at once. 0 or 1 select the sequential engine;
 	// larger values route the session through TuneParallel, which
@@ -98,6 +110,12 @@ type Trial struct {
 	Config space.Config
 	Value  float64
 	Cached bool
+	// Pruned marks a proposal the surrogate model skipped: Value is
+	// the model's prediction, not a measurement, and the proposal was
+	// charged to no account. Pruned trials exist so the trial log
+	// explains the search trajectory; reported results never include
+	// them.
+	Pruned bool
 	Err    error
 }
 
@@ -135,6 +153,14 @@ type Result struct {
 	// the cache state.
 	CacheHits   int
 	CacheMisses int
+	// SurrogateKept counts proposals the surrogate model scored and
+	// committed to simulation; SurrogatePruned counts proposals it
+	// skipped. SurrogateFallbacks counts rounds fully simulated
+	// because the model declined a point or predicted a degenerate
+	// score. All three are zero without Options.Surrogate.
+	SurrogateKept      int
+	SurrogatePruned    int
+	SurrogateFallbacks int
 }
 
 // Improvement returns the fractional improvement of the best value
@@ -166,7 +192,10 @@ var ErrNoEvaluations = errors.New("core: tuning session performed no evaluations
 // point proposed twice (common for the snapped simplex) costs only
 // one application run.
 func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
-	if opt.Workers > 1 {
+	if opt.Workers > 1 || (opt.Surrogate != nil && opt.Surrogate.Model != nil) {
+		// Surrogate sessions always use the parallel engine so that
+		// pruning decisions are taken round-by-round, identically for
+		// every worker count.
 		return TuneParallel(ctx, sp, strat, obj, opt)
 	}
 	applyProposalDefault(&opt)

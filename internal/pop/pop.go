@@ -71,16 +71,16 @@ func DefaultConfig(nx, ny int) Config {
 	}
 }
 
-// haloFields is the number of prognostic fields exchanged per
+// HaloFields is the number of prognostic fields exchanged per
 // baroclinic halo update (velocities, tracers); each carries Levels
 // vertical levels per surface point.
-const haloFields = 8
+const HaloFields = 8
 
-// haloExchangesPerStep is how many times the baroclinic phase
+// HaloExchangesPerStep is how many times the baroclinic phase
 // refreshes ghost cells per time step: advection, horizontal
 // diffusion, vertical mixing, and state updates each need a fresh
 // halo.
-const haloExchangesPerStep = 6
+const HaloExchangesPerStep = 6
 
 // block is one bx×by tile of the global grid.
 type block struct {
@@ -284,6 +284,26 @@ func (cfg Config) cachedLayout(p int) (*layout, error) {
 	return ly, nil
 }
 
+// CachedLayout is the exported face of cachedLayout for analytic
+// predictors (internal/surrogate): it returns the same frozen,
+// memoised decomposition the simulator would use for cfg on p ranks,
+// without executing any ranks.
+func (cfg Config) CachedLayout(p int) (*layout, error) { return cfg.cachedLayout(p) }
+
+// Ranks returns the rank count the layout was built for.
+func (ly *layout) Ranks() int { return ly.ranks }
+
+// Points returns the number of grid points rank r owns.
+func (ly *layout) Points(r int) int { return ly.points[r] }
+
+// Peers returns rank r's halo peers in increasing order and, aligned
+// with them, the per-field halo bytes exchanged with each per step.
+// Both slices are views of the frozen layout and must not be
+// modified.
+func (ly *layout) Peers(r int) (peers, bytes []int) {
+	return ly.peers[r], ly.peerBytes[r]
+}
+
 // Blocks returns the global block count of the decomposition grid
 // (before land elimination).
 func (ly *layout) Blocks() int { return ly.nbx * ly.nby }
@@ -364,8 +384,8 @@ func RunStats(m *cluster.Machine, cfg Config) (simmpi.Stats, error) {
 			// Baroclinic phase: explicit stencil work scaled by the
 			// physics parameter choices, then a halo update.
 			r.Compute(pts * costs.baroclinicFlopsPerPoint)
-			for x := 0; x < haloExchangesPerStep; x++ {
-				exchangeHalo(r, peers, vols, haloFields*levels, 2*step)
+			for x := 0; x < HaloExchangesPerStep; x++ {
+				exchangeHalo(r, peers, vols, HaloFields*levels, 2*step)
 			}
 			// Surface forcing interpolation.
 			r.Compute(pts * costs.forcingFlopsPerPoint)

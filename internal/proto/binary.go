@@ -98,6 +98,9 @@ const (
 	tagError     = 15
 	tagSeq       = 16
 	tagCacheNS   = 17
+
+	tagSurrogate     = 18
+	tagSurrogateKeep = 19
 )
 
 // WriteHandshake sends the magic plus version; used by the client to
@@ -283,6 +286,13 @@ func appendMessage(buf []byte, m *Message) ([]byte, error) {
 	if m.CacheNS != "" {
 		buf = appendString(append(buf, tagCacheNS), m.CacheNS)
 	}
+	if m.Surrogate {
+		buf = append(buf, tagSurrogate, 1)
+	}
+	if m.SurrogateKeep != 0 {
+		buf = append(buf, tagSurrogateKeep)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.SurrogateKeep))
+	}
 	return append(buf, 0), nil
 }
 
@@ -458,6 +468,10 @@ func decodeMessage(d *decoder) *Message {
 			m.Seq = d.uvarint()
 		case tagCacheNS:
 			m.CacheNS = d.string()
+		case tagSurrogate:
+			m.Surrogate = d.byte() != 0
+		case tagSurrogateKeep:
+			m.SurrogateKeep = d.float64()
 		default:
 			d.fail("unknown field tag %d", tag)
 		}

@@ -107,6 +107,19 @@ type Message struct {
 	// Without it every client of a session sees the same
 	// configuration.
 	Parallel bool `json:"parallel,omitempty"`
+	// Surrogate asks the server to screen proposals with its analytic
+	// performance model for this application, when it has one:
+	// configurations the model ranks confidently worse are answered to
+	// the search at their predicted value without ever being handed to
+	// a client, so the session spends its runs on promising
+	// candidates. Reported results (best queries) always come from
+	// genuine measurements. Servers without a model for the
+	// application ignore the flag.
+	Surrogate bool `json:"surrogate,omitempty"`
+	// SurrogateKeep is the fraction of each proposal round to actually
+	// evaluate when Surrogate is set, 0 < keep <= 1; 0 selects the
+	// server's default.
+	SurrogateKeep float64 `json:"surrogate_keep,omitempty"`
 
 	// config / report: Tag identifies which outstanding proposal of a
 	// parallel session a configuration or report belongs to. The

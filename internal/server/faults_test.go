@@ -539,13 +539,15 @@ func TestWriteStatsFormat(t *testing.T) {
 		"harmony.reports.dropped_stale", "harmony.rounds.completed",
 		"harmony.proposals.reissued", "harmony.proposals.forfeited",
 		"harmony.cache.hits", "harmony.cache.misses",
+		"harmony.surrogate.pruned", "harmony.surrogate.kept",
+		"harmony.surrogate.fallbacks",
 	} {
 		if !strings.Contains(out, metric+" ") {
 			t.Errorf("dump missing %q:\n%s", metric, out)
 		}
 	}
-	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 10 {
-		t.Errorf("dump has %d lines, want 10:\n%s", got, out)
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 13 {
+		t.Errorf("dump has %d lines, want 13:\n%s", got, out)
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harmony/internal/core"
 	"harmony/internal/history"
 	"harmony/internal/proto"
 	"harmony/internal/search"
@@ -109,6 +110,22 @@ type Server struct {
 	// every cache state. Completed full-report measurements are
 	// stored back; forfeits and failures never are.
 	Cache *history.EvalCache
+
+	// Surrogate resolves an application name to an analytic performance
+	// model, for sessions that register with proto.Message.Surrogate.
+	// When it returns a model, the session's fetch path screens every
+	// proposal with core.SurrogateGate — the exact pruning rules of the
+	// off-line engine — and answers the search at the predicted value
+	// for configurations the model ranks confidently worse, without
+	// handing them to any client. Best replies always come from genuine
+	// measurements (the session shadows its measured best). Nil, or a
+	// resolver returning nil for the app, ignores the flag.
+	Surrogate func(app string) core.Surrogate
+
+	// SurrogateKeep is the default fraction of proposals a surrogate
+	// session actually evaluates when the registration does not choose
+	// one; 0 selects core.DefaultSurrogateKeep.
+	SurrogateKeep float64
 
 	// Shards is the number of independent session shards (see
 	// shard.go). Each session lives on exactly one shard, selected by
@@ -171,6 +188,19 @@ type session struct {
 	// bound to (app, machine, namespace, space) at register time; nil
 	// when the server has no cache.
 	cache *history.BoundCache
+
+	// Surrogate screening state (nil gate disables the layer). Pruned
+	// proposals are answered to the strategy at the model's predicted
+	// value and never charged to runs, so the strategy's own best may
+	// hold a prediction; measuredPt/measuredVal shadow the best
+	// genuinely measured configuration, and best replies use the
+	// shadow. surPrunes caps how many proposals a sequential session
+	// may prune (an adversarial model must not spin fetch forever).
+	surGate     *core.SurrogateGate
+	surPrunes   int
+	measuredPt  space.Point
+	measuredVal float64
+	measuredOK  bool
 
 	// stragglerArmed records whether a straggler deadline entry for
 	// this session is queued on its shard. Guarded by the owning
@@ -471,6 +501,15 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 	if s.Cache != nil {
 		ss.cache = s.Cache.BoundNS(msg.App, msg.Machine, msg.CacheNS, sp)
 	}
+	if msg.Surrogate && s.Surrogate != nil {
+		if model := s.Surrogate(msg.App); model != nil {
+			keep := msg.SurrogateKeep
+			if keep == 0 {
+				keep = s.SurrogateKeep
+			}
+			ss.surGate = core.NewSurrogateGate(&core.SurrogateOptions{Model: model, Keep: keep})
+		}
+	}
 	num := s.nextID.Add(1)
 	id := "s" + strconv.FormatInt(num, 10)
 	ss.id, ss.num = id, num
@@ -567,6 +606,32 @@ func (ss *session) reissueLimit() int {
 	return defaultMaxReissues
 }
 
+// noteMeasuredLocked shadows the best genuinely measured value of a
+// surrogate session. With a surrogate, the strategy's own best may be
+// a model prediction (pruned proposals are answered at their predicted
+// value), so best replies read this shadow instead. The point is
+// copied: rounds and strategies may reuse their backing arrays.
+func (ss *session) noteMeasuredLocked(pt space.Point, v float64) {
+	if ss.surGate == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if !ss.measuredOK || v < ss.measuredVal {
+		ss.measuredPt = append(space.Point(nil), pt...)
+		ss.measuredVal = v
+		ss.measuredOK = true
+	}
+}
+
+// pruneBudget caps how many sequential proposals the surrogate may
+// prune: a model that rejects everything the strategy proposes must
+// degrade to evaluation, not spin the fetch loop until convergence.
+func (ss *session) pruneBudget() int {
+	if ss.maxRuns > 0 {
+		return 10 * ss.maxRuns
+	}
+	return 10000
+}
+
 // expireStragglersLocked applies the straggler deadline to whatever
 // the session is waiting on. Shared-config sessions: an overdue
 // pending configuration with partial reports is finalised with the
@@ -644,6 +709,10 @@ func (ss *session) expireRoundLocked(now time.Time) {
 		}
 		if r.worst[pos] == math.Inf(-1) {
 			r.worst[pos] = penaltyValue
+		} else {
+			// Forfeited with partial reports: the surviving ranks'
+			// aggregate is still a genuine measurement.
+			ss.noteMeasuredLocked(r.pts[pos], r.worst[pos])
 		}
 		r.count[pos] = ss.reporters
 		r.complete++
@@ -703,10 +772,29 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 				// proposal without any client round-trip.
 				ss.runs++
 				ss.stat().cacheHits.Add(1)
+				ss.noteMeasuredLocked(pt, v)
 				ss.strategy.Report(pt, v)
 				continue
 			}
 			ss.stat().cacheMisses.Add(1)
+		}
+		if ss.surGate != nil {
+			if score, ok := ss.surGate.Score(pt, cfg); !ok {
+				// Outside the model's competence: evaluate it for real.
+				ss.stat().surrogateFallback.Add(1)
+			} else if !ss.surGate.Keep([]float64{score})[0] && ss.surPrunes < ss.pruneBudget() {
+				// Confidently worse than the best configuration the
+				// session committed to measure: answer the strategy at
+				// the predicted value, charge no run, and pull the next
+				// proposal without any client round-trip.
+				ss.surPrunes++
+				ss.stat().surrogatePruned.Add(1)
+				ss.strategy.Report(pt, score)
+				continue
+			} else {
+				ss.surGate.Committed(score)
+				ss.stat().surrogateKept.Add(1)
+			}
 		}
 		ss.pending = pt
 		ss.reports = ss.reports[:0]
@@ -728,7 +816,15 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 
 // bestOrCurrentLocked replies with the best-known configuration and
 // the converged flag set, so clients can settle on the tuned values.
+// Surrogate sessions settle on the best measured configuration: the
+// strategy's best may be a point the model scored but nothing ever
+// ran.
 func (ss *session) bestOrCurrentLocked() *proto.Message {
+	if ss.surGate != nil && ss.measuredOK {
+		if cfg, err := ss.space.Decode(ss.measuredPt); err == nil {
+			return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Converged: true}
+		}
+	}
 	if pt, _, ok := ss.strategy.Best(); ok {
 		cfg, err := ss.space.Decode(pt)
 		if err == nil {
@@ -769,26 +865,72 @@ func (ss *session) fetchParallelLocked(now time.Time) *proto.Message {
 				batch = batch[:rem]
 			}
 		}
-		ss.runs += len(batch)
+		// Score the whole round up front when the session has a
+		// surrogate: pruning is a per-round quota (the same keepMask the
+		// off-line engine applies), so the decision needs every score.
+		// Any point the model declines — or cannot even decode — sends
+		// the entire round to full simulation.
+		var scores []float64
+		var keep []bool
+		if ss.surGate != nil {
+			sc := make([]float64, len(batch))
+			ok := true
+			for i, pt := range batch {
+				cfg, err := ss.space.Decode(pt)
+				if err != nil {
+					ok = false
+					break
+				}
+				if sc[i], ok = ss.surGate.Score(pt, cfg); !ok {
+					break
+				}
+			}
+			if ok {
+				scores = sc
+				keep = ss.surGate.Keep(scores)
+			} else {
+				ss.stat().surrogateFallback.Add(1)
+			}
+		}
 		ss.round = newFanoutRound(batch)
-		// Pre-fill round positions the evaluation cache can answer:
-		// those proposals are complete before any client sees them.
-		// A fully cached round retires immediately and the loop pulls
-		// the next batch.
-		if ss.cache != nil {
-			r := ss.round
-			for i, pt := range r.pts {
+		// Pre-fill round positions that never reach a client: cache
+		// hits (complete at their genuine past measurement, and still
+		// charged — the run-cost accounting is identical for every
+		// cache state) and surrogate prunes (complete at the model's
+		// predicted value, never charged: no simulation happens). A
+		// fully pre-filled round retires immediately and the loop pulls
+		// the next batch; the quota always keeps at least one point, so
+		// a surrogate round always charges at least one run.
+		r := ss.round
+		charged := 0
+		for i, pt := range r.pts {
+			if ss.cache != nil {
 				if v, ok := ss.cache.Lookup(pt); ok {
 					r.worst[i] = v
 					r.count[i] = ss.reporters
 					r.complete++
 					ss.stat().cacheHits.Add(1)
-				} else {
-					ss.stat().cacheMisses.Add(1)
+					ss.noteMeasuredLocked(pt, v)
+					charged++
+					continue
 				}
+				ss.stat().cacheMisses.Add(1)
 			}
-			ss.maybeRetireRoundLocked()
+			if keep != nil && !keep[i] {
+				r.worst[i] = scores[i]
+				r.count[i] = ss.reporters
+				r.complete++
+				ss.stat().surrogatePruned.Add(1)
+				continue
+			}
+			if keep != nil {
+				ss.surGate.Committed(scores[i])
+				ss.stat().surrogateKept.Add(1)
+			}
+			charged++
 		}
+		ss.runs += charged
+		ss.maybeRetireRoundLocked()
 	}
 	for ss.round != nil {
 		r := ss.round
@@ -874,6 +1016,7 @@ func (ss *session) reportParallelLocked(msg *proto.Message) *proto.Message {
 		if ss.cache != nil && !math.IsInf(r.worst[pos], 0) {
 			ss.cache.Store(r.pts[pos], r.worst[pos])
 		}
+		ss.noteMeasuredLocked(r.pts[pos], r.worst[pos])
 	}
 	ss.maybeRetireRoundLocked()
 	return &proto.Message{Type: proto.TypeOK}
@@ -929,6 +1072,7 @@ func (ss *session) finishPendingLocked() {
 	if ss.cache != nil && len(ss.reports) >= ss.reporters && !math.IsInf(worst, 0) {
 		ss.cache.Store(ss.pending, worst)
 	}
+	ss.noteMeasuredLocked(ss.pending, worst)
 	ss.strategy.Report(ss.pending, worst)
 	ss.pending = nil
 	ss.reports = ss.reports[:0]
@@ -938,7 +1082,18 @@ func (ss *session) best(*proto.Message) *proto.Message {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.lastActive = ss.now()
-	pt, value, ok := ss.strategy.Best()
+	var (
+		pt    space.Point
+		value float64
+		ok    bool
+	)
+	if ss.surGate != nil {
+		// Surrogate sessions answer best queries only from genuine
+		// measurements: the strategy's best may hold a model prediction.
+		pt, value, ok = ss.measuredPt, ss.measuredVal, ss.measuredOK
+	} else {
+		pt, value, ok = ss.strategy.Best()
+	}
 	if !ok {
 		return errorReply("best: session %s has no evaluations yet", ss.id)
 	}

@@ -97,6 +97,14 @@ func (s *Server) shardTable() []*shard {
 	return s.shards
 }
 
+// ShardCount reports the effective number of session shards — the
+// configured Server.Shards, or DefaultShards when unset — so tooling
+// that records the server's topology (harmonyload's benchmark JSON)
+// writes the value actually in force rather than the raw flag.
+func (s *Server) ShardCount() int {
+	return len(s.shardTable())
+}
+
 // shardFor hashes a session id onto its owning shard.
 func (s *Server) shardFor(id string) *shard {
 	shards := s.shardTable()

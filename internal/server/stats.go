@@ -41,6 +41,17 @@ type Stats struct {
 	// to clients anyway. Both are zero when Server.Cache is unset.
 	CacheHits   int64
 	CacheMisses int64
+	// SurrogatePruned counts proposals a session's analytic model
+	// screened out — answered to the search at their predicted value
+	// without any client evaluation. SurrogateKept counts proposals
+	// the model scored and committed to real evaluation, and
+	// SurrogateFallbacks counts scoring attempts the model declined
+	// (the proposal, or its whole round, was evaluated for real). All
+	// three are zero unless sessions register with the surrogate flag
+	// and Server.Surrogate resolves a model.
+	SurrogatePruned    int64
+	SurrogateKept      int64
+	SurrogateFallbacks int64
 }
 
 // counters is the live atomic backing of Stats. Sessions hold a
@@ -56,6 +67,9 @@ type counters struct {
 	proposalsForfeited  atomic.Int64
 	cacheHits           atomic.Int64
 	cacheMisses         atomic.Int64
+	surrogatePruned     atomic.Int64
+	surrogateKept       atomic.Int64
+	surrogateFallback   atomic.Int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -77,6 +91,9 @@ func (s *Server) Stats() Stats {
 		ProposalsForfeited:  s.stats.proposalsForfeited.Load(),
 		CacheHits:           s.stats.cacheHits.Load(),
 		CacheMisses:         s.stats.cacheMisses.Load(),
+		SurrogatePruned:     s.stats.surrogatePruned.Load(),
+		SurrogateKept:       s.stats.surrogateKept.Load(),
+		SurrogateFallbacks:  s.stats.surrogateFallback.Load(),
 	}
 }
 
@@ -99,6 +116,9 @@ func (s *Server) WriteStats(w io.Writer) error {
 		{"proposals.forfeited", st.ProposalsForfeited},
 		{"cache.hits", st.CacheHits},
 		{"cache.misses", st.CacheMisses},
+		{"surrogate.pruned", st.SurrogatePruned},
+		{"surrogate.kept", st.SurrogateKept},
+		{"surrogate.fallbacks", st.SurrogateFallbacks},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "harmony.%s %d\n", r.name, r.value); err != nil {

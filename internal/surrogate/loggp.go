@@ -1,0 +1,120 @@
+// Package surrogate implements closed-form LogGP-style performance
+// predictors for the paper's case-study applications. A predictor
+// prices a candidate configuration analytically — communication
+// volume from the frozen decomposition plans, compute load from the
+// heaviest rank, link parameters from the cluster.Machine — without
+// executing a single simulated rank. The tuning engine
+// (core.Options.Surrogate) uses the predictions only to rank
+// candidates and decide which ones deserve a real simulated run;
+// every reported number still comes from the simulator.
+//
+// Each predictor mirrors the cost formulas its simulator charges
+// (internal/simmpi collectives, the per-phase flop constants of
+// petscsim/gs2/pop), so its ranking tracks the simulated ordering
+// closely. It deliberately ignores scheduling interleave — the
+// pipeline overlap the discrete-event simulation resolves exactly —
+// which is why the engine treats predictions as a ranking, not a
+// measurement.
+package surrogate
+
+import (
+	"math"
+
+	"harmony/internal/cluster"
+)
+
+// LogGP prices MPI communication on a machine under the LogGP-style
+// model the simulator uses: per-message latency and injection
+// overhead, per-byte bandwidth on the link class between the ranks,
+// and a bisection cap on aggregate inter-node flow.
+type LogGP struct {
+	M *cluster.Machine
+	// N is the communicator size; collectives price their trees over
+	// it. It may be smaller than M.Procs() for sub-communicators.
+	N int
+}
+
+// worstLink mirrors the simulator's choice of link class for
+// collectives: inter-node as soon as the communicator spans nodes.
+func (g LogGP) worstLink() cluster.Link {
+	if g.N > g.M.PPN {
+		return g.M.Inter
+	}
+	return g.M.Intra
+}
+
+// log2Ceil is the binomial-tree stage count, mirroring simmpi.
+func log2Ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// TreeCost prices a binomial-tree collective moving bytes per stage:
+// the cost the simulator charges for Barrier (bytes=0), Allreduce1
+// (bytes=8), and vector Allreduce (bytes=8×len).
+func (g LogGP) TreeCost(bytes int) float64 {
+	l := g.worstLink()
+	return log2Ceil(g.N) * (l.Latency + l.Overhead + float64(bytes)/l.Bandwidth)
+}
+
+// AlltoallvCost prices a personalised all-to-all from its dense
+// per-pair byte matrix (sendBytes[src][dst]), replicating the
+// simulator's combine with synchronised arrivals: each rank's exit is
+// gated by its inbound and outbound serialisation, the per-message
+// injection overheads, and the fabric's bisection, and the exchange
+// as a whole finishes at the slowest rank.
+func (g LogGP) AlltoallvCost(sendBytes [][]int) float64 {
+	n := g.N
+	lat := g.worstLink().Latency * log2Ceil(n)
+	overhead := g.worstLink().Overhead
+	recvTime := make([]float64, n)
+	sendTime := make([]float64, n)
+	msgs := make([]int, n)
+	var interNode float64
+	for src := 0; src < n && src < len(sendBytes); src++ {
+		row := sendBytes[src]
+		for dst := 0; dst < n && dst < len(row); dst++ {
+			b := row[dst]
+			if b <= 0 || dst == src {
+				continue
+			}
+			dt := float64(b) / g.M.LinkBetween(src, dst).Bandwidth
+			recvTime[dst] += dt
+			sendTime[src] += dt
+			msgs[src]++
+			msgs[dst]++
+			if !g.M.SameNode(src, dst) {
+				interNode += float64(b)
+			}
+		}
+	}
+	congestion := interNode / g.M.Bisection()
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		cost := recvTime[i]
+		if sendTime[i] > cost {
+			cost = sendTime[i]
+		}
+		if congestion > cost {
+			cost = congestion
+		}
+		if t := lat + cost + float64(msgs[i])*overhead; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// minSpeed returns the slowest rank's speed in FLOP/s: the compute
+// gate of a load-balanced phase on a possibly heterogeneous machine.
+func minSpeed(m *cluster.Machine) float64 {
+	s := math.Inf(1)
+	for r := 0; r < m.Procs(); r++ {
+		if v := m.SpeedOf(r); v < s {
+			s = v
+		}
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package surrogate
+
+import (
+	"fmt"
+	"strconv"
+
+	"harmony/internal/cluster"
+	"harmony/internal/petscsim"
+	"harmony/internal/space"
+	"harmony/internal/sparse"
+)
+
+// cfgInt looks a parameter up by name without the panic-on-missing
+// semantics of space.Config.Int: server-side predictors are resolved
+// by application name and may be handed a configuration from an
+// unrelated space, which must read as "outside the model's
+// competence", not as a crash.
+func cfgInt(vals map[string]string, name string) (int, bool) {
+	v, ok := vals[name]
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// SLES predicts the Fig. 2 PETSc linear-solver objective: a fixed
+// number of CG iterations whose time is gated by the heaviest rank of
+// the tuned matrix decomposition. The model walks the CSR structure
+// of the partition — per-rank nonzeros, local rows, and distinct
+// ghost columns grouped by owner — and prices one iteration as the
+// slowest rank's matrix and vector flops plus its halo exchange, plus
+// the two scalar allreduces of the CG recurrence.
+type SLES struct {
+	app   *petscsim.SLESApp
+	m     *cluster.Machine
+	g     LogGP
+	names []string
+}
+
+// NewSLES builds the predictor for an SLES application instance on a
+// machine. The machine's rank count must match the application's
+// partition count.
+func NewSLES(app *petscsim.SLESApp, m *cluster.Machine) *SLES {
+	names := make([]string, app.P)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i+1)
+	}
+	return &SLES{app: app, m: m, g: LogGP{M: m, N: app.P}, names: names}
+}
+
+// Predict prices one benchmarking run of the decomposition the
+// configuration encodes. It declines configurations that do not carry
+// the full weight vector of the application's space.
+func (s *SLES) Predict(_ space.Point, cfg space.Config) (float64, bool) {
+	vals := cfg.Map()
+	for _, name := range s.names {
+		if _, ok := cfgInt(vals, name); !ok {
+			return 0, false
+		}
+	}
+	part := s.app.PartitionFor(cfg)
+	p := part.P()
+	a := s.app.A
+
+	// Distinct ghost columns per (owner, peer) pair: ghosts[r][peer]
+	// is how many remote entries rank r must receive from peer each
+	// MatVec. A stamp array deduplicates repeated column references
+	// within a rank without clearing between ranks.
+	ghosts := make([][]int, p)
+	stamp := make([]int, a.N)
+	for r := 0; r < p; r++ {
+		ghosts[r] = make([]int, p)
+		lo, hi := part.Range(r)
+		for idx := a.RowPtr[lo]; idx < a.RowPtr[hi]; idx++ {
+			c := a.Col[idx]
+			if (c >= lo && c < hi) || stamp[c] == r+1 {
+				continue
+			}
+			stamp[c] = r + 1
+			ghosts[r][part.OwnerOf(c)]++
+		}
+	}
+
+	// Per iteration: MatVec (sparse flops + halo), five length-nloc
+	// vector operations (two dots, two axpys, the p-update), and two
+	// scalar allreduces. The slowest rank gates the iteration.
+	worst := 0.0
+	for r := 0; r < p; r++ {
+		lo, hi := part.Range(r)
+		nloc := float64(hi - lo)
+		nnz := float64(a.RowNNZ(lo, hi))
+		t := (sparse.FlopsPerNNZ*nnz + 5*sparse.VecFlops*nloc) / s.m.SpeedOf(r)
+		for peer := 0; peer < p; peer++ {
+			if peer == r {
+				continue
+			}
+			if ghosts[peer][r] > 0 { // we ship owned entries to peer
+				t += s.m.LinkBetween(r, peer).Overhead
+			}
+			if n := ghosts[r][peer]; n > 0 { // we wait for our ghosts
+				link := s.m.LinkBetween(peer, r)
+				t += link.Latency + 8*float64(n)/link.Bandwidth
+			}
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	perIter := worst + 2*s.g.TreeCost(8)
+	// The initial residual dot before the loop.
+	total := float64(s.app.Iterations)*perIter + s.g.TreeCost(8)
+	if total <= 0 {
+		return 0, false
+	}
+	return total, true
+}
