@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkHarmonyvet times a full-repo vet run — load and type-check
+// the module from source, run all nine analyzers (the interprocedural
+// ones build the call graph and fact store), filter suppressions.
+// This is exactly the CI gate, so the benchmark is the budget that
+// keeps the gate blocking: a full run must stay under a few seconds.
+func BenchmarkHarmonyvet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+			b.Fatalf("harmonyvet exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+		}
+	}
+}

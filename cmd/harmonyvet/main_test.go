@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -33,6 +34,10 @@ func TestFixturesFail(t *testing.T) {
 		{"search", "randsource"},
 		{"lockcheck", "lockcheck"},
 		{"proto", "errdrop"},
+		{"allocfree", "allocfree"},
+		{"lockorder", "lockorder"},
+		{"protowire", "protowire"},
+		{"prunepurity", "prunepurity"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -56,7 +61,10 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", code, errb.String())
 	}
-	for _, name := range []string{"wallclock", "maporder", "randsource", "lockcheck", "errdrop"} {
+	for _, name := range []string{
+		"wallclock", "maporder", "randsource", "lockcheck", "errdrop",
+		"allocfree", "lockorder", "protowire", "prunepurity",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -75,5 +83,82 @@ func TestOnlyFlag(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-C", "../..", "-only", "wallclock", pattern}, &out, &errb); code != 1 {
 		t.Fatalf("-only wallclock exit = %d, want 1\nstdout:\n%s", code, out.String())
+	}
+}
+
+// TestOnlyExclude checks the -name exclusion syntax: the allocfree
+// fixture is dirty, but only under allocfree, so excluding that one
+// analyzer runs the other eight and exits clean.
+func TestOnlyExclude(t *testing.T) {
+	var out, errb bytes.Buffer
+	pattern := "./internal/analysis/testdata/src/allocfree"
+	if code := run([]string{"-C", "../..", "-only", "-allocfree", pattern}, &out, &errb); code != 0 {
+		t.Fatalf("-only -allocfree exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", "../..", "-only", "-errdrop", pattern}, &out, &errb); code != 1 {
+		t.Fatalf("-only -errdrop exit = %d, want 1 (allocfree still runs)\nstdout:\n%s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", "../..", "-only", "-nosuch", pattern}, &out, &errb); code != 2 {
+		t.Fatalf("-only -nosuch exit = %d, want 2", code)
+	}
+}
+
+// TestJSONFlag checks the machine-readable findings format the CI
+// artifact is built from.
+func TestJSONFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	pattern := "./internal/analysis/testdata/src/lockorder"
+	code := run([]string{"-C", "../..", "-json", "-only", "lockorder", pattern}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("-json exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json produced an empty findings array for a dirty fixture")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "lockorder" || f.Line <= 0 || !strings.HasSuffix(f.File, "fixture.go") {
+			t.Errorf("malformed JSON finding: %+v", f)
+		}
+	}
+
+	// A clean tree still yields a parseable (empty) array.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", "../..", "-json", "-only", "errdrop", pattern}, &out, &errb); code != 0 {
+		t.Fatalf("clean -json exit = %d, want 0", code)
+	}
+	findings = nil
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil || len(findings) != 0 {
+		t.Fatalf("clean -json output should be an empty array, got %q (err %v)", out.String(), err)
+	}
+}
+
+// TestFactsFlag checks the interprocedural fact dump: the lockorder
+// fixture's lockOther helper must carry the locks-shard fact.
+func TestFactsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	pattern := "./internal/analysis/testdata/src/lockorder"
+	code := run([]string{"-C", "../..", "-facts", "-only", "lockorder", pattern}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("-facts exit = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "lockorder.locks-shard") {
+		t.Errorf("-facts dump lacks the locks-shard fact:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lockorder.unsafe") {
+		t.Errorf("-facts dump lacks the unsafe fact:\n%s", out.String())
 	}
 }

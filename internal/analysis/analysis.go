@@ -34,7 +34,13 @@ type Analyzer struct {
 	// like the real package of the same name.
 	Applies func(pkgPath string) bool
 	// Run inspects the package and reports findings through the pass.
+	// Exactly one of Run and RunProgram is set.
 	Run func(p *Pass)
+	// RunProgram runs once over the whole program instead of once per
+	// package — the hook of the interprocedural analyzers (allocfree,
+	// lockorder, prunepurity), which follow calls and facts across
+	// package boundaries.
+	RunProgram func(pp *ProgramPass)
 }
 
 // Pass carries one (analyzer, package) run.
@@ -61,6 +67,10 @@ func All() []*Analyzer {
 		randsourceAnalyzer,
 		lockcheckAnalyzer,
 		errdropAnalyzer,
+		allocfreeAnalyzer,
+		lockorderAnalyzer,
+		protowireAnalyzer,
+		prunepurityAnalyzer,
 	}
 }
 
@@ -110,35 +120,55 @@ type suppression struct {
 	analyzer string
 }
 
-// collectSuppressions scans a package's comments for ignore
-// directives, reporting malformed ones as findings.
+// collectSuppressions scans a package's comments for harmonyvet
+// directives, collecting ignore suppressions and reporting malformed
+// or unknown directives as findings. The function-level verbs
+// (allocfree, allocamortized, coldpath) are validated here too —
+// allocamortized and coldpath excuse code from enforcement, so like
+// ignore they demand a written reason.
 func collectSuppressions(pkg *Package) ([]suppression, []Finding) {
 	var sups []suppression
 	var bad []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimPrefix(text, "/*")
-				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
-				if !strings.HasPrefix(text, ignorePrefix) {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
 				switch {
-				case len(fields) == 0 || ByName(fields[0]) == nil:
-					bad = append(bad, Finding{
-						Pos: pos, Analyzer: "harmonyvet",
-						Message: fmt.Sprintf("ignore directive must name a known analyzer (%s)", analyzerNames()),
-					})
-				case len(fields) < 2:
-					bad = append(bad, Finding{
-						Pos: pos, Analyzer: "harmonyvet",
-						Message: fmt.Sprintf("ignore directive for %q needs a written reason", fields[0]),
-					})
+				case verb == "ignore":
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0 || ByName(fields[0]) == nil:
+						bad = append(bad, Finding{
+							Pos: pos, Analyzer: "harmonyvet",
+							Message: fmt.Sprintf("ignore directive must name a known analyzer (%s)", analyzerNames()),
+						})
+					case len(fields) < 2:
+						bad = append(bad, Finding{
+							Pos: pos, Analyzer: "harmonyvet",
+							Message: fmt.Sprintf("ignore directive for %q needs a written reason", fields[0]),
+						})
+					default:
+						sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+					}
+				case verb == dirAllocfree:
+					// No argument: the enforcement directive needs no excuse.
+				case verb == dirAllocamortized || verb == dirColdpath:
+					if rest == "" {
+						bad = append(bad, Finding{
+							Pos: pos, Analyzer: "harmonyvet",
+							Message: fmt.Sprintf("%s directive needs a written reason", verb),
+						})
+					}
 				default:
-					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+					bad = append(bad, Finding{
+						Pos: pos, Analyzer: "harmonyvet",
+						Message: fmt.Sprintf("unknown harmonyvet directive %q (known: ignore, %s, %s, %s)",
+							verb, dirAllocfree, dirAllocamortized, dirColdpath),
+					})
 				}
 			}
 		}
@@ -169,12 +199,50 @@ func suppressed(f Finding, sups []suppression) bool {
 // Run applies the analyzers to the packages, filters suppressed
 // findings, and returns the survivors sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunDetailed(pkgs, analyzers)
+	return findings
+}
+
+// RunDetailed is Run plus the Program built for the interprocedural
+// analyzers (nil when none ran), so callers can dump its fact store.
+//
+// Suppressions are collected globally: an interprocedural finding may
+// land in a dependency package outside the pattern set (allocfree
+// descends from an annotated root into its callees), and the ignore
+// directive lives next to the offending line wherever that is.
+// Malformed-directive findings, by contrast, are only reported for
+// pattern packages, so vetting one directory does not surface
+// diagnostics about another.
+func RunDetailed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, *Program) {
 	var out []Finding
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			prog = buildProgram(pkgs)
+			break
+		}
+	}
+
+	inPattern := make(map[*Package]bool, len(pkgs))
+	var sups []suppression
 	for _, pkg := range pkgs {
-		sups, bad := collectSuppressions(pkg)
+		inPattern[pkg] = true
+		s, bad := collectSuppressions(pkg)
+		sups = append(sups, s...)
 		out = append(out, bad...)
+	}
+	if prog != nil {
+		for _, pkg := range prog.allPackages() {
+			if !inPattern[pkg] {
+				s, _ := collectSuppressions(pkg)
+				sups = append(sups, s...)
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(pkg.Path) {
+			if a.Run == nil || (a.Applies != nil && !a.Applies(pkg.Path)) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
@@ -183,6 +251,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				if !suppressed(f, sups) {
 					out = append(out, f)
 				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pp := &ProgramPass{Analyzer: a, Prog: prog}
+		a.RunProgram(pp)
+		for _, f := range pp.findings {
+			if !suppressed(f, sups) {
+				out = append(out, f)
 			}
 		}
 	}
@@ -196,7 +276,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, prog
 }
 
 // inspect walks every file of the pass's package.

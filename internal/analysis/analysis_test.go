@@ -117,6 +117,13 @@ func TestLockcheckFixture(t *testing.T)   { runFixture(t, "lockcheck", "lockchec
 func TestErrdropFixture(t *testing.T)     { runFixture(t, "proto", "errdrop") }
 func TestSuppressionFixture(t *testing.T) { runFixture(t, "suppress", "maporder") }
 
+// The interprocedural analyzers: each fixture carries positive cases,
+// negative cases, and one justified suppression.
+func TestAllocfreeFixture(t *testing.T)   { runFixture(t, "allocfree", "allocfree") }
+func TestLockorderFixture(t *testing.T)   { runFixture(t, "lockorder", "lockorder") }
+func TestProtowireFixture(t *testing.T)   { runFixture(t, "protowire", "protowire") }
+func TestPrunepurityFixture(t *testing.T) { runFixture(t, "prunepurity", "prunepurity") }
+
 // TestSuppressionValidation checks that malformed directives are
 // themselves reported and do not suppress the underlying finding.
 func TestSuppressionValidation(t *testing.T) {
@@ -151,7 +158,10 @@ func TestSuppressionValidation(t *testing.T) {
 
 // TestAnalyzerInventory pins the analyzer set the CLI advertises.
 func TestAnalyzerInventory(t *testing.T) {
-	want := []string{"wallclock", "maporder", "randsource", "lockcheck", "errdrop"}
+	want := []string{
+		"wallclock", "maporder", "randsource", "lockcheck", "errdrop",
+		"allocfree", "lockorder", "protowire", "prunepurity",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

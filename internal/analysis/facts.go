@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"io"
+	"sort"
+)
+
+// FactStore holds analyzer-computed facts about program objects,
+// keyed by (function, fact name). Facts are how the interprocedural
+// analyzers summarise a function once and consume the summary from
+// every caller: allocfree records why a callee allocates, lockorder
+// records which callees perform operations forbidden under a shard
+// lock, prunepurity records which results carry predicted values and
+// which parameters flow into measurement sinks.
+//
+// Values are strings: human-readable at -facts dump granularity,
+// parsed trivially by the analyzers that wrote them.
+type FactStore struct {
+	m map[*types.Func]map[string]string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[*types.Func]map[string]string)}
+}
+
+// Set records fact name=value for fn, overwriting any previous value.
+func (fs *FactStore) Set(fn *types.Func, name, value string) {
+	facts := fs.m[fn]
+	if facts == nil {
+		facts = make(map[string]string)
+		fs.m[fn] = facts
+	}
+	facts[name] = value
+}
+
+// Get returns the value of fact name for fn.
+func (fs *FactStore) Get(fn *types.Func, name string) (string, bool) {
+	v, ok := fs.m[fn][name]
+	return v, ok
+}
+
+// Has reports whether fn carries fact name.
+func (fs *FactStore) Has(fn *types.Func, name string) bool {
+	_, ok := fs.Get(fn, name)
+	return ok
+}
+
+// Dump writes every fact as "function\tfact\tvalue" lines, sorted by
+// function full name then fact name, so -facts output is stable.
+func (fs *FactStore) Dump(w io.Writer) {
+	fns := make([]*types.Func, 0, len(fs.m))
+	for fn := range fs.m {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		names := make([]string, 0, len(fs.m[fn]))
+		for name := range fs.m[fn] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", fn.FullName(), name, fs.m[fn][name])
+		}
+	}
+}

@@ -41,6 +41,11 @@ type Package struct {
 	// Types and Info carry the type-checker's results.
 	Types *types.Package
 	Info  *types.Info
+
+	// loader is the Loader that produced the package, so the
+	// interprocedural Program can reach the module dependencies the
+	// loader already parsed and type-checked.
+	loader *Loader
 }
 
 // Loader loads and type-checks packages of one module from source.
@@ -205,9 +210,25 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		}
 		return nil, fmt.Errorf("analysis: type errors in %s:\n  %s", path, strings.Join(msgs, "\n  "))
 	}
-	pkg := &Package{Path: path, Dir: abs, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: abs, Fset: l.fset, Files: files, Types: tpkg, Info: info, loader: l}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// Cached returns every module package the loader has loaded so far —
+// the pattern packages plus all module dependencies pulled in during
+// type-checking — sorted by import path.
+func (l *Loader) Cached() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkgs = append(pkgs, l.pkgs[p])
+	}
+	return pkgs
 }
 
 // Load expands the given patterns into packages. A pattern is either

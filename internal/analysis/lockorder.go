@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockorderAnalyzer enforces the sharded server's locking contract
+// (internal/server/shard.go: "Lock order: shard.mu before session.mu,
+// always"):
+//
+//  1. no scope holds two shard mutexes at once — directly or by
+//     calling a function that takes one;
+//  2. no channel operation, goroutine launch, blocking I/O, or
+//     callback through a func value (s.Logf, injected clocks) runs
+//     while a shard mutex is held — directly or transitively;
+//  3. a shard's deadline heap (the .dq field) is mutated only under
+//     that shard's own mutex;
+//  4. shard.mu is never acquired while a session.mu is held;
+//  5. functions named *Locked hold a lock by convention: they are
+//     scanned as if their shard/session lock were already held, and
+//     calling one with no lock held positionally is flagged.
+//
+// The scan is positional, like lockcheck: statements are visited in
+// source order and a deferred unlock keeps the lock held to the end
+// of the scope. Shard and session mutexes are recognised as the .mu
+// field of a type named "shard" or "session". Facts about callees
+// (performs a forbidden operation, acquires a shard lock) are
+// computed transitively over the static call graph, so a violation
+// three calls deep is reported at the locked call site with the
+// offending chain named.
+var lockorderAnalyzer = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "sharded-server lock discipline: one shard lock, no chan/IO/callback under it, heap under owner, shard before session",
+	Applies:    baseIn("server", "lockorder"),
+	RunProgram: runLockorder,
+}
+
+// lockorder fact names.
+const (
+	factLockUnsafe = "lockorder.unsafe"      // performs a forbidden op (directly or via calls)
+	factLocksShard = "lockorder.locks-shard" // acquires a shard mutex itself
+)
+
+// lockorderIOPkgs are stdlib packages whose calls block on I/O.
+var lockorderIOPkgs = map[string]bool{
+	"net": true, "os": true, "io": true, "bufio": true, "log": true,
+}
+
+func runLockorder(pp *ProgramPass) {
+	computeLockFacts(pp)
+	for _, pkg := range pp.Packages() {
+		for _, fi := range pp.Prog.funcsIn(pkg) {
+			scanLockScope(pp, fi)
+		}
+	}
+}
+
+// lockNamedBase returns the name of the named struct type behind e
+// (dereferencing one pointer), or "".
+func lockNamedBase(info *types.Info, e ast.Expr) string {
+	t := info.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// lockTarget classifies a call as Lock/Unlock of a shard or session
+// mutex: a selector chain X.mu.(Lock|Unlock) where X's named type is
+// "shard" or "session". Returns the owner kind, the canonical text of
+// X, and whether it locks (true) or unlocks (false).
+func lockTarget(info *types.Info, call *ast.CallExpr) (kind, base string, lock, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		lock = true
+	case "Unlock":
+	default:
+		return "", "", false, false
+	}
+	mu, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel || mu.Sel.Name != "mu" {
+		return "", "", false, false
+	}
+	kind = lockNamedBase(info, mu.X)
+	if kind != "shard" && kind != "session" {
+		return "", "", false, false
+	}
+	return kind, exprText(mu.X), lock, true
+}
+
+// heapDQBase matches container/heap calls whose first argument is (a
+// pointer to) the .dq field of a shard, returning the shard expr text.
+func heapDQBase(pkg *Package, call *ast.CallExpr) (base string, ok bool) {
+	fn := StaticCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "container/heap" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Push", "Pop", "Fix", "Init", "Remove":
+	default:
+		return "", false
+	}
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if u, isU := arg.(*ast.UnaryExpr); isU && u.Op == token.AND {
+		arg = ast.Unparen(u.X)
+	}
+	sel, isSel := arg.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "dq" {
+		return "", false
+	}
+	if lockNamedBase(pkg.Info, sel.X) != "shard" {
+		return "", false
+	}
+	return exprText(sel.X), true
+}
+
+// directForbidden describes why a single expression/statement is
+// forbidden under a shard lock, or "".
+func directForbiddenCall(pkg *Package, call *ast.CallExpr) string {
+	info := pkg.Info
+	// Builtins and conversions are fine.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			return ""
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return ""
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+			// Interface method calls (strategy.Report under session locks)
+			// are part of the session state machine; the callback rule is
+			// about func-typed fields like Logf and injected clocks.
+			return ""
+		}
+	}
+	fn := StaticCallee(pkg, call)
+	if fn == nil {
+		return fmt.Sprintf("calls through func value %s (a callback may block or re-enter the server)", exprText(call.Fun))
+	}
+	if p := fn.Pkg(); p != nil {
+		if lockorderIOPkgs[p.Path()] {
+			return fmt.Sprintf("calls %s.%s (blocking I/O)", p.Path(), fn.Name())
+		}
+		if p.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+			return fmt.Sprintf("calls fmt.%s (writes to an io.Writer)", fn.Name())
+		}
+	}
+	return ""
+}
+
+// computeLockFacts summarises every function of the applicable
+// packages: does it perform a forbidden-under-shard-lock operation,
+// and does it acquire a shard lock — in both cases directly or
+// through static module calls, to a fixpoint.
+func computeLockFacts(pp *ProgramPass) {
+	prog := pp.Prog
+	facts := prog.Facts()
+	var fis []*FuncInfo
+	for _, pkg := range pp.FactPackages() {
+		fis = append(fis, prog.funcsIn(pkg)...)
+	}
+	for _, fi := range fis {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SendStmt:
+				setIfAbsent(facts, fi.Fn, factLockUnsafe, "performs a channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					setIfAbsent(facts, fi.Fn, factLockUnsafe, "performs a channel receive")
+				}
+			case *ast.SelectStmt:
+				setIfAbsent(facts, fi.Fn, factLockUnsafe, "blocks in a select")
+			case *ast.GoStmt:
+				setIfAbsent(facts, fi.Fn, factLockUnsafe, "starts a goroutine")
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						setIfAbsent(facts, fi.Fn, factLockUnsafe, "ranges over a channel")
+					}
+				}
+			case *ast.CallExpr:
+				if desc := directForbiddenCall(pkg, x); desc != "" {
+					setIfAbsent(facts, fi.Fn, factLockUnsafe, desc)
+				}
+				if _, _, lock, ok := lockTarget(pkg.Info, x); ok && lock {
+					if kind, _, _, _ := lockTarget(pkg.Info, x); kind == "shard" {
+						setIfAbsent(facts, fi.Fn, factLocksShard, "acquires a shard lock")
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Transitive closure over static module calls.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fis {
+			for _, callee := range prog.Callees(fi) {
+				if desc, ok := facts.Get(callee, factLockUnsafe); ok && !facts.Has(fi.Fn, factLockUnsafe) {
+					facts.Set(fi.Fn, factLockUnsafe, fmt.Sprintf("calls %s, which %s", callee.Name(), rootCause(desc)))
+					changed = true
+				}
+				if desc, ok := facts.Get(callee, factLocksShard); ok && !facts.Has(fi.Fn, factLocksShard) {
+					facts.Set(fi.Fn, factLocksShard, fmt.Sprintf("calls %s, which %s", callee.Name(), rootCause(desc)))
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// rootCause strips nested "calls X, which " prefixes so transitive
+// fact messages name the chain without repeating the connective.
+func rootCause(desc string) string { return desc }
+
+func setIfAbsent(facts *FactStore, fn *types.Func, name, value string) {
+	if !facts.Has(fn, name) {
+		facts.Set(fn, name, value)
+	}
+}
+
+// virtualLocks returns the lock state a *Locked-named function is
+// entitled to assume at entry: its *shard parameter's lock, else its
+// *session receiver's (or parameter's) lock.
+func virtualLocks(fi *FuncInfo) (shard []string, session []string) {
+	if !strings.HasSuffix(fi.Fn.Name(), "Locked") {
+		return nil, nil
+	}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := fi.Pkg.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			name := ""
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok {
+					name = named.Obj().Name()
+				}
+			}
+			for _, id := range f.Names {
+				switch name {
+				case "shard":
+					shard = append(shard, id.Name)
+				case "session":
+					session = append(session, id.Name)
+				}
+			}
+		}
+	}
+	collect(fi.Decl.Recv)
+	if fi.Decl.Type != nil {
+		collect(fi.Decl.Type.Params)
+	}
+	// A function with a shard parameter holds the shard lock; a pure
+	// session helper holds only its session lock. Holding the shard
+	// lock does not imply holding the session's.
+	if len(shard) > 0 {
+		session = nil
+	}
+	return shard, session
+}
+
+// scanLockScope runs the positional scan over one function and each
+// of its function literals (literals hold no virtual locks).
+func scanLockScope(pp *ProgramPass, fi *FuncInfo) {
+	if fi.Decl.Body == nil {
+		return
+	}
+	vs, vsess := virtualLocks(fi)
+	scanLockBody(pp, fi, fi.Decl.Body, vs, vsess)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanLockBody(pp, fi, lit.Body, nil, nil)
+			return false
+		}
+		return true
+	})
+}
+
+// scanLockBody walks one scope in source order maintaining the held
+// shard/session lock sets.
+func scanLockBody(pp *ProgramPass, fi *FuncInfo, body *ast.BlockStmt, heldShard, heldSession []string) {
+	pkg := fi.Pkg
+	facts := pp.Prog.Facts()
+	virtual := len(heldShard) > 0 || len(heldSession) > 0
+
+	remove := func(set []string, base string) []string {
+		for i, b := range set {
+			if b == base {
+				return append(set[:i], set[i+1:]...)
+			}
+		}
+		return set
+	}
+	held := func(set []string, base string) bool {
+		for _, b := range set {
+			if b == base {
+				return true
+			}
+		}
+		return false
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // scanned as its own scope
+			case *ast.SendStmt:
+				if len(heldShard) > 0 {
+					pp.Reportf(x.Pos(), "channel send while shard lock %s.mu is held", heldShard[0])
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW && len(heldShard) > 0 {
+					pp.Reportf(x.Pos(), "channel receive while shard lock %s.mu is held", heldShard[0])
+				}
+			case *ast.SelectStmt:
+				if len(heldShard) > 0 {
+					pp.Reportf(x.Pos(), "select while shard lock %s.mu is held", heldShard[0])
+				}
+			case *ast.GoStmt:
+				if len(heldShard) > 0 {
+					pp.Reportf(x.Pos(), "goroutine started while shard lock %s.mu is held", heldShard[0])
+				}
+			case *ast.CallExpr:
+				if kind, base, lock, ok := lockTarget(pkg.Info, x); ok {
+					switch {
+					case kind == "shard" && lock:
+						if len(heldShard) > 0 {
+							pp.Reportf(x.Pos(), "acquires shard lock %s.mu while already holding shard lock %s.mu (no goroutine may hold two shard mutexes)", base, heldShard[0])
+						}
+						if len(heldSession) > 0 {
+							pp.Reportf(x.Pos(), "acquires shard lock %s.mu while session lock %s.mu is held (lock order: shard.mu before session.mu)", base, heldSession[0])
+						}
+						heldShard = append(heldShard, base)
+					case kind == "shard":
+						heldShard = remove(heldShard, base)
+					case kind == "session" && lock:
+						heldSession = append(heldSession, base)
+					case kind == "session":
+						heldSession = remove(heldSession, base)
+					}
+					return true
+				}
+				if base, ok := heapDQBase(pkg, x); ok {
+					if !held(heldShard, base) {
+						pp.Reportf(x.Pos(), "deadline-heap mutation of %s.dq without holding %s.mu (the heap is owned by its shard's lock)", base, base)
+					}
+					return true
+				}
+				if len(heldShard) > 0 {
+					if desc := directForbiddenCall(pkg, x); desc != "" {
+						pp.Reportf(x.Pos(), "%s while shard lock %s.mu is held", desc, heldShard[0])
+					} else if fn := StaticCallee(pkg, x); fn != nil && pp.Prog.FuncOf(fn) != nil {
+						if desc, ok := facts.Get(fn, factLockUnsafe); ok {
+							pp.Reportf(x.Pos(), "calls %s, which %s, while shard lock %s.mu is held", fn.Name(), desc, heldShard[0])
+						}
+						if desc, ok := facts.Get(fn, factLocksShard); ok {
+							pp.Reportf(x.Pos(), "calls %s, which %s, while shard lock %s.mu is held", fn.Name(), desc, heldShard[0])
+						}
+					}
+				}
+				if fn := StaticCallee(pkg, x); fn != nil &&
+					strings.HasSuffix(fn.Name(), "Locked") && pp.Prog.FuncOf(fn) != nil &&
+					len(heldShard) == 0 && len(heldSession) == 0 && !virtual {
+					pp.Reportf(x.Pos(), "calls %s, which by convention requires its caller to hold a lock, with no shard or session lock held", fn.Name())
+				}
+			case *ast.DeferStmt:
+				// A deferred unlock releases at return: for the positional
+				// scan the lock simply stays held to the end of the scope,
+				// so skip the call (do not treat it as an immediate unlock)
+				// but still classify forbidden deferred work.
+				if kind, _, lock, ok := lockTarget(pkg.Info, x.Call); ok && !lock {
+					_ = kind
+					return false
+				}
+				walk(x.Call)
+				return false
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(x.X); t != nil && len(heldShard) > 0 {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pp.Reportf(x.Pos(), "ranges over a channel while shard lock %s.mu is held", heldShard[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}

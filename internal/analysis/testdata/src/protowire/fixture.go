@@ -1,0 +1,81 @@
+// Package protowire exercises the protowire analyzer: every binary
+// wire tag needs an encode arm and a decode arm, tags and Message
+// fields stay in bijection, and decode switches must act on unknown
+// tags.
+package protowire
+
+// Message is the fixture's wire message. ID, Perf, and Round are
+// fully wired; the remaining fields each break the contract in one
+// way.
+type Message struct {
+	ID      string
+	Perf    float64
+	Round   int
+	Dropped string
+	Dead    int
+	Note    string // want `Message field Note has no wire tag \(const tagNote\)`
+	//harmonyvet:ignore protowire Debug is a JSON-only diagnostic; the binary protocol intentionally omits it
+	Debug string
+}
+
+const (
+	tagID      = 1
+	tagPerf    = 2
+	tagRound   = 3
+	tagDropped = 4 // want `wire tag tagDropped has no decode arm: peers sending it are silently ignored`
+	tagDead    = 5 // want `wire tag tagDead has no encode arm: the field is never written to binary frames`
+	tagGhost   = 6 // want `wire tag tagGhost has no matching Message field Ghost`
+)
+
+func encode(m *Message, put func(tag int, v any)) {
+	put(tagID, m.ID)
+	put(tagPerf, m.Perf)
+	put(tagRound, m.Round)
+	put(tagDropped, m.Dropped)
+	put(tagGhost, nil)
+}
+
+// decode is the well-formed decode switch: every case resolves a tag
+// constant and the default acts on unknown tags.
+func decode(tag int, m *Message) {
+	switch tag {
+	case tagID:
+		m.ID = "id"
+	case tagPerf:
+		m.Perf = 1
+	case tagRound:
+		m.Round = 1
+	case tagDead:
+		m.Dead = 1
+	case tagGhost:
+		// length-prefixed: skipped without a field
+	default:
+		skipUnknown(tag)
+	}
+}
+
+func skipUnknown(tag int) { _ = tag }
+
+// A decode switch without a default swallows unknown tags.
+func decodeLegacy(tag int, m *Message) {
+	switch tag { // want `decode switch over wire tags has no default: an unknown tag from a newer peer would fall through silently`
+	case tagID:
+		m.ID = "legacy"
+	case tagRound:
+		m.Round = 0
+	}
+}
+
+// A default that only assigns is as silent as no default at all.
+func decodeSloppy(tag int, m *Message) {
+	n := 0
+	switch tag {
+	case tagPerf:
+		n++
+	case tagDead:
+		m.Dead = n
+	default: // want `decode switch default is inert: unknown wire tags must be failed or explicitly skipped, not swallowed`
+		n = 0
+	}
+	_ = n
+}

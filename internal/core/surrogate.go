@@ -137,6 +137,8 @@ func (s *surrogateState) keepMask(scores []float64) []bool {
 // committed records that the session will simulate a configuration
 // the model scored; the single-proposal rule prunes against the best
 // such score.
+//
+//harmonyvet:allocfree
 func (s *surrogateState) committed(score float64) {
 	if score < s.modelBest {
 		s.modelBest = score
@@ -178,4 +180,8 @@ func (g *SurrogateGate) Score(pt space.Point, cfg space.Config) (float64, bool) 
 func (g *SurrogateGate) Keep(scores []float64) []bool { return g.st.keepMask(scores) }
 
 // Committed records that a scored configuration will be simulated.
+// It sits on the server's fetch hot path (once per kept proposal), so
+// it is annotated and enforced allocation-free.
+//
+//harmonyvet:allocfree
 func (g *SurrogateGate) Committed(score float64) { g.st.committed(score) }

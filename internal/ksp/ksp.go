@@ -42,6 +42,8 @@ func CG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter
 // iteration's MatVec reuses the workspace's staging and result
 // buffers, so the solver's hot loop allocates only its own iteration
 // vectors, once per solve.
+//
+//harmonyvet:allocamortized iteration vectors are allocated once per solve; the loop reuses them and runs through the annotated allocation-free kernels (MatVecInto, Dot, Axpy)
 func CGWith(ws *sparse.Workspace, r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
 	const tag = 101
 	n := len(b)
@@ -101,6 +103,8 @@ type GMRESWorkspace struct {
 
 // ensure sizes the workspace for restart length m on n-vectors,
 // reallocating only what is too small. Contents are unspecified.
+//
+//harmonyvet:allocamortized grows each buffer to its high-water size once; later solves of the same shape reslice in place
 func (ws *GMRESWorkspace) ensure(m, n int) {
 	if len(ws.v) < m+1 {
 		ws.v = append(ws.v, make([][]float64, m+1-len(ws.v))...)
@@ -122,6 +126,7 @@ func (ws *GMRESWorkspace) ensure(m, n int) {
 	ws.res = growF(ws.res, n)
 }
 
+//harmonyvet:allocamortized reallocates only to raise the buffer to its high-water capacity; steady-state calls reslice in place
 func growF(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
@@ -136,6 +141,8 @@ func growF(buf []float64, n int) []float64 {
 // inner products, so all ranks make identical decisions. The returned
 // slice is freshly allocated; callers solving repeatedly should hold
 // a GMRESWorkspace and use GMRESWith.
+//
+//harmonyvet:allocamortized the workspace is sized once and the result copied out; repeated solves should use GMRESWith directly
 func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol float64) ([]float64, Result) {
 	var ws GMRESWorkspace
 	x, out := GMRESWith(&ws, r, op, b, restart, maxIter, rtol)
@@ -147,6 +154,8 @@ func GMRES(r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol flo
 // GMRESWith on the same workspace. op may return a slice it reuses on
 // its next application: GMRES is done with the previous result before
 // applying op again.
+//
+//harmonyvet:allocamortized workspace buffers are sized by ensure to their high-water mark; the Arnoldi loop reuses them, and op is the caller's operator (MatVecInto through a workspace on every hot path)
 func GMRESWith(ws *GMRESWorkspace, r *simmpi.Rank, op Apply, b []float64, restart, maxIter int, rtol float64) ([]float64, Result) {
 	n := len(b)
 	ws.ensure(restart, n)

@@ -22,6 +22,8 @@ func PCG(r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIte
 // PCGWith is PCG running its operator applications through ws, like
 // CGWith: iteration vectors are allocated once per solve and every
 // MatVec reuses the workspace.
+//
+//harmonyvet:allocamortized iteration vectors and the preconditioner closure are built once per solve; the loop reuses them and runs through the annotated allocation-free kernels
 func PCGWith(ws *sparse.Workspace, r *simmpi.Rank, a *sparse.DistMatrix, b []float64, rtol float64, maxIter int) ([]float64, Result) {
 	const tag = 103
 	n := len(b)

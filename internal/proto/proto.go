@@ -72,6 +72,7 @@ type ParamSpec struct {
 // Message is the single envelope for every protocol message; unused
 // fields are omitted on the wire.
 type Message struct {
+	//harmonyvet:ignore protowire Type needs no wire tag: binary frames carry it as the leading type-code byte (typeCodes), so a tag would duplicate it
 	Type    string `json:"type"`
 	Session string `json:"session,omitempty"`
 
@@ -151,6 +152,7 @@ type Message struct {
 	// back, so both directions of the JSON line protocol round-trip
 	// every float64. The binary protocol encodes raw IEEE-754 bits and
 	// never uses this field.
+	//harmonyvet:ignore protowire PerfText is a JSON-only escape hatch for non-finite Perf; the binary protocol sends raw IEEE-754 bits and must never grow a second perf field
 	PerfText string `json:"perf_text,omitempty"`
 
 	// error

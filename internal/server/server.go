@@ -216,11 +216,22 @@ type tagIssue struct {
 }
 
 // fanoutRound tracks one in-flight batch of a parallel session.
+//
+// Measured and predicted values live in separate slices: worst only
+// ever holds genuine measurements (reports, cache hits, forfeit
+// penalties), while surrogate predictions for pruned proposals sit in
+// pred. They meet only in deliveryValues, at the strategy boundary —
+// the one channel predictions are designed to flow through. Keeping
+// the slices apart is what lets prunepurity prove mechanically that
+// no prediction can leak into the evaluation cache, the measured-best
+// shadow, or run accounting through this struct.
 type fanoutRound struct {
 	pts      []space.Point
 	assigned []int             // times each proposal has been handed out
 	count    []int             // reports received per proposal
-	worst    []float64         // worst report per proposal (slowest rank gates)
+	worst    []float64         // worst measured report per proposal (slowest rank gates)
+	pred     []float64         // surrogate-predicted value per pruned proposal
+	pruned   []bool            // proposal answered by the model, never simulated
 	expiries []int             // straggler deadlines missed per proposal
 	tags     map[int]*tagIssue // outstanding tag -> issue record
 	complete int               // proposals with all reports in
@@ -232,6 +243,8 @@ func newFanoutRound(pts []space.Point) *fanoutRound {
 		assigned: make([]int, len(pts)),
 		count:    make([]int, len(pts)),
 		worst:    make([]float64, len(pts)),
+		pred:     make([]float64, len(pts)),
+		pruned:   make([]bool, len(pts)),
 		expiries: make([]int, len(pts)),
 		tags:     make(map[int]*tagIssue),
 	}
@@ -239,6 +252,31 @@ func newFanoutRound(pts []space.Point) *fanoutRound {
 		r.worst[i] = math.Inf(-1)
 	}
 	return r
+}
+
+// deliveryValues returns the per-proposal values handed to the
+// strategy: measurements, with the model's predicted value
+// substituted at pruned positions. The merge happens in a fresh slice
+// so worst itself never holds a prediction.
+func (r *fanoutRound) deliveryValues() []float64 {
+	anyPruned := false
+	for _, p := range r.pruned {
+		if p {
+			anyPruned = true
+			break
+		}
+	}
+	if !anyPruned {
+		return r.worst
+	}
+	vals := make([]float64, len(r.worst))
+	copy(vals, r.worst)
+	for i, p := range r.pruned {
+		if p {
+			vals[i] = r.pred[i]
+		}
+	}
+	return vals
 }
 
 // New constructs a server with no sessions.
@@ -446,13 +484,27 @@ func (s *Server) ExpireNow() int {
 
 // expireOne applies lease then straggler deadlines to one session,
 // returning whether it was garbage-collected. Takes the session's
-// shard lock, so concurrent dispatches stay correct.
+// shard lock, so concurrent dispatches stay correct. The expiry log
+// line is emitted only after the shard lock is released: Logf is an
+// injected callback that may block or re-enter the server, so
+// lockorder forbids calling it under a shard lock.
 func (s *Server) expireOne(ss *session, now time.Time) bool {
 	sh := s.shardFor(ss.id)
+	expired, idle := s.expireOneShard(sh, ss, now)
+	if expired {
+		s.Logf("harmony server: session %s lease expired after %v idle", ss.id, idle)
+	}
+	return expired
+}
+
+// expireOneShard is expireOne's locked region: it reports whether the
+// session's lease expired and, if so, for how long it had been idle,
+// leaving the logging to the caller.
+func (s *Server) expireOneShard(sh *shard, ss *session, now time.Time) (bool, time.Duration) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.sessions[ss.id]; !ok {
-		return false // collected since the snapshot
+		return false, 0 // collected since the snapshot
 	}
 	if s.SessionTimeout > 0 {
 		ss.mu.Lock()
@@ -461,14 +513,13 @@ func (s *Server) expireOne(ss *session, now time.Time) bool {
 		if idle := now.Sub(last); idle > s.SessionTimeout {
 			delete(sh.sessions, ss.id)
 			s.stats.sessionsExpired.Add(1)
-			s.Logf("harmony server: session %s lease expired after %v idle", ss.id, idle)
-			return true
+			return true, idle
 		}
 	}
 	ss.mu.Lock()
 	ss.expireStragglersLocked(now)
 	ss.mu.Unlock()
-	return false
+	return false, 0
 }
 
 func (s *Server) register(msg *proto.Message) *proto.Message {
@@ -728,7 +779,7 @@ func (ss *session) maybeRetireRoundLocked() {
 	if r == nil || r.complete < len(r.pts) {
 		return
 	}
-	ss.batch.ReportBatch(r.pts, r.worst)
+	ss.batch.ReportBatch(r.pts, r.deliveryValues())
 	ss.round = nil
 	ss.stat().roundsCompleted.Add(1)
 }
@@ -917,7 +968,8 @@ func (ss *session) fetchParallelLocked(now time.Time) *proto.Message {
 				ss.stat().cacheMisses.Add(1)
 			}
 			if keep != nil && !keep[i] {
-				r.worst[i] = scores[i]
+				r.pred[i] = scores[i]
+				r.pruned[i] = true
 				r.count[i] = ss.reporters
 				r.complete++
 				ss.stat().surrogatePruned.Add(1)

@@ -2,7 +2,6 @@ package server
 
 import (
 	"container/heap"
-	"hash/fnv"
 	"sync"
 	"time"
 )
@@ -35,6 +34,7 @@ type shard struct {
 	dq       deadlineQueue
 }
 
+//harmonyvet:allocamortized shards are constructed once per server at table build time
 func newShard() *shard {
 	return &shard{sessions: make(map[string]*session)}
 }
@@ -82,6 +82,8 @@ func (q *deadlineQueue) Pop() any {
 
 // shardTable returns the shard slice, building it on first use so
 // Server.Shards can be set any time before serving.
+//
+//harmonyvet:allocamortized the table is built exactly once; every later call is a loaded-flag check returning the cached slice
 func (s *Server) shardTable() []*shard {
 	s.shardsOnce.Do(func() {
 		n := s.Shards
@@ -105,16 +107,29 @@ func (s *Server) ShardCount() int {
 	return len(s.shardTable())
 }
 
-// shardFor hashes a session id onto its owning shard.
+// shardFor hashes a session id onto its owning shard. The FNV-1a
+// round is inlined over the string bytes: hash/fnv's New32a returns a
+// heap-allocated hash.Hash32 and Write needs a []byte conversion, two
+// allocations this dispatch-path function must not pay per message.
+// The constants are FNV-1a's, so shard assignment is identical to the
+// previous fnv.New32a implementation.
+//
+//harmonyvet:allocfree
 func (s *Server) shardFor(id string) *shard {
 	shards := s.shardTable()
 	if len(shards) == 1 {
 		return shards[0]
 	}
-	h := fnv.New32a()
-	// fnv's Write cannot fail; the hash interface just carries error.
-	_, _ = h.Write([]byte(id))
-	return shards[h.Sum32()%uint32(len(shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return shards[h%uint32(len(shards))]
 }
 
 // expireDue pops every deadline entry of the shard that is due at
@@ -128,8 +143,15 @@ func (s *Server) expireDue(sh *shard, now time.Time) int {
 	if s.SessionTimeout <= 0 && s.ReportTimeout <= 0 {
 		return 0
 	}
+	// Expiry log lines are collected under the lock and emitted after
+	// it is released: Logf is an injected callback that may block or
+	// re-enter the server, so lockorder forbids it under a shard lock.
+	type leaseExpiry struct {
+		id   string
+		idle time.Duration
+	}
+	var expired []leaseExpiry
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	collected := 0
 	for len(sh.dq) > 0 && !sh.dq[0].at.After(now) {
 		e := heap.Pop(&sh.dq).(deadlineEntry)
@@ -139,33 +161,38 @@ func (s *Server) expireDue(sh *shard, now time.Time) int {
 		}
 		switch e.kind {
 		case leaseEntry:
-			if s.expireLeaseLocked(sh, ss, now) {
+			if ok, idle := s.expireLeaseLocked(sh, ss, now); ok {
 				collected++
+				expired = append(expired, leaseExpiry{id: ss.id, idle: idle})
 			}
 		case stragglerEntry:
 			s.expireStragglerEntryLocked(sh, ss, now)
 		}
+	}
+	sh.mu.Unlock()
+	for _, e := range expired {
+		s.Logf("harmony server: session %s lease expired after %v idle", e.id, e.idle)
 	}
 	return collected
 }
 
 // expireLeaseLocked applies one popped lease entry: collect the
 // session if its effective idle time exceeds the lease, otherwise
-// re-push the entry at the session's true lease deadline. The caller
-// holds sh.mu.
-func (s *Server) expireLeaseLocked(sh *shard, ss *session, now time.Time) bool {
+// re-push the entry at the session's true lease deadline. Returns
+// whether the session was collected and its idle duration, so the
+// caller can log after releasing sh.mu. The caller holds sh.mu.
+func (s *Server) expireLeaseLocked(sh *shard, ss *session, now time.Time) (bool, time.Duration) {
 	ss.mu.Lock()
 	last := ss.effectiveLastActiveLocked(now)
 	ss.mu.Unlock()
 	deadline := last.Add(s.SessionTimeout)
 	if deadline.After(now) {
 		heap.Push(&sh.dq, deadlineEntry{at: deadline, num: ss.num, id: ss.id, kind: leaseEntry})
-		return false
+		return false, 0
 	}
 	delete(sh.sessions, ss.id)
 	s.stats.sessionsExpired.Add(1)
-	s.Logf("harmony server: session %s lease expired after %v idle", ss.id, now.Sub(last))
-	return true
+	return true, now.Sub(last)
 }
 
 // expireStragglerEntryLocked applies one popped straggler entry:

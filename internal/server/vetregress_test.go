@@ -1,0 +1,95 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"harmony/internal/proto"
+	"harmony/internal/space"
+)
+
+// TestExpiryLogNotUnderShardLock is the regression test for the
+// lockorder finding in the expiry paths: Logf is an injected callback
+// that may block or re-enter the server, so both the lazy per-shard
+// sweep (expireDue) and the eager walk (ExpireNow → expireOne) must
+// release the shard mutex before logging a lease expiry. The callback
+// itself probes every shard lock — if the expiring goroutine still
+// held one, TryLock would fail.
+func TestExpiryLogNotUnderShardLock(t *testing.T) {
+	clk := newFakeClock()
+	s := newFaultServer(clk)
+	s.Shards = 1 // one shard: any dispatch sweeps the expired session
+	s.SessionTimeout = time.Minute
+	logged := 0
+	s.Logf = func(format string, args ...any) {
+		if !strings.Contains(format, "lease expired") {
+			return
+		}
+		logged++
+		for i, sh := range s.shardTable() {
+			if !sh.mu.TryLock() {
+				t.Errorf("shard %d mutex held during the Logf callback", i)
+				continue
+			}
+			sh.mu.Unlock()
+		}
+	}
+	reg := func(seed int64) *proto.Message {
+		return &proto.Message{
+			Strategy: proto.StrategyRandom, Seed: seed, MaxRuns: 10,
+			Space: proto.EncodeSpace(testSpace()),
+		}
+	}
+	mustRegister(t, s, reg(7))
+
+	// Lazy path: the next message on the shard pops the lease entry.
+	clk.Advance(2 * time.Minute)
+	second := mustRegister(t, s, reg(8))
+	if logged != 1 {
+		t.Fatalf("lazy expiry logged %d lease lines, want 1", logged)
+	}
+
+	// Eager path: ExpireNow walks every shard and logs per collection.
+	clk.Advance(2 * time.Minute)
+	if n := s.ExpireNow(); n != 1 {
+		t.Fatalf("ExpireNow = %d, want 1 (session %s)", n, second)
+	}
+	if logged != 2 {
+		t.Fatalf("eager expiry logged %d lease lines in total, want 2", logged)
+	}
+}
+
+// TestFanoutRoundPredictionSeparation is the regression test for the
+// prunepurity findings in the parallel fan-out: surrogate predictions
+// for pruned proposals live in pred, never in worst, and the two only
+// meet in the fresh slice deliveryValues builds for the strategy.
+func TestFanoutRoundPredictionSeparation(t *testing.T) {
+	r := newFanoutRound(make([]space.Point, 3))
+	r.worst[0], r.count[0] = 7, 1
+	r.pred[1], r.pruned[1] = 42, true
+	r.worst[2], r.count[2] = 9, 1
+
+	vals := r.deliveryValues()
+	want := []float64{7, 42, 9}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("deliveryValues[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	if !math.IsInf(r.worst[1], -1) {
+		t.Errorf("worst[1] = %v, want -Inf: the prediction must never enter the measured slice", r.worst[1])
+	}
+	if &vals[0] == &r.worst[0] {
+		t.Error("deliveryValues returned the measured slice itself while holding a prediction")
+	}
+
+	// A round with nothing pruned hands the measured slice through
+	// unchanged — no copy on the pure-measurement path.
+	clean := newFanoutRound(make([]space.Point, 2))
+	clean.worst[0], clean.worst[1] = 1, 2
+	if vs := clean.deliveryValues(); &vs[0] != &clean.worst[0] {
+		t.Error("unpruned round should deliver the measured slice without copying")
+	}
+}

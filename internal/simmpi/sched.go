@@ -218,6 +218,8 @@ func (s *sched) abort() {
 
 // deadlockError names every blocked rank and the operation it is
 // parked in, e.g. "rank 1 blocked in Recv(src=0, tag=7)".
+//
+//harmonyvet:coldpath deadlock reporting: the simulated world is already wedged, so building the diagnostic may allocate freely
 func (s *sched) deadlockError() error {
 	var b strings.Builder
 	b.WriteString("simmpi: deadlock:")

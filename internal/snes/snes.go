@@ -76,6 +76,8 @@ type Result struct {
 // Solve runs Newton–Krylov from inside a simulated rank. x0 is the
 // rank-local initial guess; the returned slice is the rank-local
 // solution.
+//
+//harmonyvet:allocamortized the per-solve scratch (Jacobian-action buffers, Newton rhs, line-search trial, GMRES workspace) is allocated once before the Newton loop; the inner loops run through the annotated solver kernels and allocate only what the residual function f itself allocates
 func Solve(r *simmpi.Rank, f Func, x0 []float64, opt Options) ([]float64, Result) {
 	opt.setDefaults()
 	out := Result{}

@@ -218,6 +218,8 @@ type Workspace struct {
 
 // grow returns buf resized to length n, reallocating only when the
 // capacity is insufficient. Contents are unspecified.
+//
+//harmonyvet:allocamortized reallocates only to raise the buffer to its high-water capacity; steady-state calls reslice in place
 func grow(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
@@ -269,6 +271,8 @@ func (dm *DistMatrix) MatVec(r *simmpi.Rank, tag int, x []float64) []float64 {
 // buffers cycle through the world's payload free lists (the receiver
 // donates them back after unpacking) and the operand and result live
 // in ws.
+//
+//harmonyvet:allocfree
 func (dm *DistMatrix) MatVecInto(ws *Workspace, r *simmpi.Rank, tag int, x []float64) []float64 {
 	nloc := dm.plans[r.ID()].hi - dm.plans[r.ID()].lo
 	ws.y = grow(ws.y, nloc)
@@ -374,6 +378,8 @@ func matVecKernel(y, val []float64, rowOff, ci []int32, xbuf []float64) {
 // fallback of a Jacobi preconditioner. Shared by the preconditioned
 // and unpreconditioned solver paths so every consumer extracts the
 // same values the same way.
+//
+//harmonyvet:allocfree
 func (dm *DistMatrix) InvDiagInto(rank int, dst []float64) []float64 {
 	plan := &dm.plans[rank]
 	nloc := plan.hi - plan.lo
@@ -464,6 +470,8 @@ const VecFlops = 2.0
 
 // Dot computes the global dot product of two distributed vectors from
 // inside a rank: local partial plus an allreduce.
+//
+//harmonyvet:allocfree
 func Dot(r *simmpi.Rank, a, b []float64) float64 {
 	var s float64
 	for i := range a {
@@ -474,6 +482,8 @@ func Dot(r *simmpi.Rank, a, b []float64) float64 {
 }
 
 // Axpy computes y += alpha·x locally.
+//
+//harmonyvet:allocfree
 func Axpy(r *simmpi.Rank, alpha float64, x, y []float64) {
 	for i := range y {
 		y[i] += alpha * x[i]
