@@ -533,51 +533,77 @@ func BenchmarkDistMatVecWorkspace(b *testing.B) {
 // real-time cost is (configs needed) / (configs per second). Two
 // campaign shapes cover the two hot paths: the Fig. 2 PETSc
 // decomposition (sparse MatVec dominated, PRO search so workers get
-// parallel proposal batches) and the Table 3 GS2 resolution sweep
-// (dense-step simulation, simplex search).
+// parallel proposal batches) and the Table 3 GS2 resolution sweep,
+// whose sequential simplex is the round-barrier engine's worst case.
+//
+// Each campaign runs under both engines. engine=round is the
+// per-round barrier (Tune/TuneParallel as before this PR);
+// engine=pipeline is the asynchronous issue/commit engine, with the
+// Table 3 campaign searched by the bandit ensemble — the strategy
+// built to keep the candidate queue full — instead of the one-point-
+// in-flight simplex. cmd/benchjson pairs the round and pipeline
+// numbers per campaign when it assembles the CI artifact. The
+// per-run worker-occupancy and queue-starvation counters ride along
+// as extra metrics.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	type campaign struct {
 		name string
 		run  func() (*core.Result, error)
 	}
-	fig2 := func(workers int) func() (*core.Result, error) {
+	fig2 := func(workers int, async bool) func() (*core.Result, error) {
 		app := petscsim.NewSLESApp(600, 4, 3, 60, 11)
 		m := cluster.Seaborg(4, 1)
 		return func() (*core.Result, error) {
 			sp := app.Space()
 			return core.Tune(context.Background(), sp,
 				search.NewPRO(sp, search.PROOptions{Seed: 11}),
-				app.Objective(m), core.Options{MaxRuns: 40, Workers: workers})
+				app.Objective(m), core.Options{MaxRuns: 40, Workers: workers, Async: async})
 		}
 	}
-	table3 := func(workers int) func() (*core.Result, error) {
+	table3 := func(workers int, async bool) func() (*core.Result, error) {
 		base := gs2.DefaultConfig()
 		base.Steps = 10
 		return func() (*core.Result, error) {
 			sp := gs2.ResolutionSpace(64)
-			return core.Tune(context.Background(), sp,
-				search.NewSimplex(sp, search.SimplexOptions{
-					Start: gs2.ResolutionStart(sp, 16, 26, 32), StepFraction: 0.5, Restarts: 12}),
-				gs2.ResolutionObjective(gs2.LinuxCluster, base), core.Options{MaxRuns: 35, Workers: workers})
+			var strat search.Strategy
+			if async {
+				strat = search.NewEnsemble(sp, search.EnsembleOptions{Seed: 11, Budget: 35})
+			} else {
+				strat = search.NewSimplex(sp, search.SimplexOptions{
+					Start: gs2.ResolutionStart(sp, 16, 26, 32), StepFraction: 0.5, Restarts: 12})
+			}
+			return core.Tune(context.Background(), sp, strat,
+				gs2.ResolutionObjective(gs2.LinuxCluster, base),
+				core.Options{MaxRuns: 35, Workers: workers, Async: async})
 		}
 	}
+	engines := []struct {
+		name  string
+		async bool
+	}{{"round", false}, {"pipeline", true}}
 	for _, workers := range []int{1, 4, 8} {
-		for _, c := range []campaign{
-			{name: "fig2", run: fig2(workers)},
-			{name: "table3", run: table3(workers)},
-		} {
-			c := c
-			b.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(b *testing.B) {
-				configs := 0
-				for i := 0; i < b.N; i++ {
-					res, err := c.run()
-					if err != nil {
-						b.Fatal(err)
+		for _, eng := range engines {
+			for _, c := range []campaign{
+				{name: "fig2", run: fig2(workers, eng.async)},
+				{name: "table3", run: table3(workers, eng.async)},
+			} {
+				c := c
+				b.Run(fmt.Sprintf("%s/engine=%s/workers=%d", c.name, eng.name, workers), func(b *testing.B) {
+					configs := 0
+					var res *core.Result
+					for i := 0; i < b.N; i++ {
+						var err error
+						res, err = c.run()
+						if err != nil {
+							b.Fatal(err)
+						}
+						configs += res.Runs
 					}
-					configs += res.Runs
-				}
-				b.ReportMetric(float64(configs)/b.Elapsed().Seconds(), "configs/sec")
-			})
+					b.ReportMetric(float64(configs)/b.Elapsed().Seconds(), "configs/sec")
+					b.ReportMetric(100*res.WorkerOccupancy, "occupancy-pct")
+					b.ReportMetric(float64(res.QueueStarved), "starved-refills")
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output into the JSON
+// schema CI archives as BENCH_prN.json artifacts.
+//
+// It reads benchmark output on stdin and writes one JSON document on
+// stdout. Each `Benchmark...` line carries an iteration count followed
+// by (value, unit) pairs — ns/op, B/op, allocs/op, configs/sec and any
+// custom b.ReportMetric series — all of which are kept, with the unit
+// sanitised into a JSON key ("ns/op" -> "ns_op").
+//
+// When the run used -count=N the same benchmark name appears N times,
+// interleaved with the other benchmarks by the testing package. Those
+// repetitions are collapsed into the per-metric median, which is the
+// point of the tool: a single 1x repetition is at the mercy of one
+// scheduling hiccup, while the median of interleaved repetitions
+// cancels drift that would bias a blocked design. The repetition count
+// is inferred from the input and recorded in the document, so the
+// artifact is self-describing.
+//
+// Usage:
+//
+//	go test -bench=... -count=3 . | benchjson -pr 10 > BENCH_pr10.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// document is the one schema every bench artifact shares. Benchmarks
+// and their metrics serialise in sorted-key order (encoding/json sorts
+// map keys), so diffs between artifacts are stable.
+type document struct {
+	PR     int    `json:"pr,omitempty"`
+	Method string `json:"method"`
+	Count  int    `json:"count"`
+
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number recorded in the artifact (0 = omit)")
+	flag.Parse()
+
+	doc, err := collect(os.Stdin, *pr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// collect parses benchmark output and folds repetitions of the same
+// benchmark name into per-metric medians.
+func collect(r io.Reader, pr int) (*document, error) {
+	samples := map[string]map[string][]float64{}
+	reps := 0
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			// Lines like "BenchmarkX --- FAIL" or prose that happens
+			// to start with the prefix are not results.
+			continue
+		}
+		name := fields[0]
+		metrics := samples[name]
+		if metrics == nil {
+			metrics = map[string][]float64{}
+			samples[name] = metrics
+		}
+		metrics["iterations"] = append(metrics["iterations"], iters)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q for %q", name, fields[i], fields[i+1])
+			}
+			metrics[metricKey(fields[i+1])] = append(metrics[metricKey(fields[i+1])], v)
+		}
+		if n := len(metrics["iterations"]); n > reps {
+			reps = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	doc := &document{PR: pr, Method: "interleaved-median", Count: reps,
+		Benchmarks: make(map[string]map[string]float64, len(samples))}
+	for name, metrics := range samples {
+		folded := make(map[string]float64, len(metrics))
+		for key, vals := range metrics {
+			folded[key] = median(vals)
+		}
+		doc.Benchmarks[name] = folded
+	}
+	return doc, nil
+}
+
+// metricKey turns a benchmark unit into a JSON object key the same way
+// for every artifact: every non-alphanumeric rune becomes an
+// underscore, so "ns/op" -> "ns_op" and "configs/sec" -> "configs_sec".
+func metricKey(unit string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, unit)
+}
+
+// median returns the middle sample, averaging the central pair for
+// even-length inputs. The input is copied so callers keep their order.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

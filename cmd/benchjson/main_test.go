@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const interleaved = `goos: linux
+goarch: amd64
+pkg: harmony
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaignThroughput/table3/engine=round/workers=4-4      	       1	 352085111 ns/op	        99.41 configs/sec	        38.00 starved-refills
+BenchmarkCampaignThroughput/table3/engine=pipeline/workers=4-4   	       1	  24990423 ns/op	      1401 configs/sec	         0 starved-refills
+BenchmarkDistMatVecWorkspace-4                                   	    1000	      52100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCampaignThroughput/table3/engine=round/workers=4-4      	       1	 340000000 ns/op	       101.0 configs/sec	        40.00 starved-refills
+BenchmarkCampaignThroughput/table3/engine=pipeline/workers=4-4   	       1	  30000000 ns/op	      1200 configs/sec	         0 starved-refills
+BenchmarkDistMatVecWorkspace-4                                   	    1000	      50000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCampaignThroughput/table3/engine=round/workers=4-4      	       1	 360000000 ns/op	        95.00 configs/sec	        36.00 starved-refills
+BenchmarkCampaignThroughput/table3/engine=pipeline/workers=4-4   	       1	  20000000 ns/op	      1500 configs/sec	         0 starved-refills
+BenchmarkDistMatVecWorkspace-4                                   	    1000	      51000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	harmony	12.3s
+`
+
+func TestCollectInterleavedMedians(t *testing.T) {
+	doc, err := collect(strings.NewReader(interleaved), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.PR != 10 || doc.Method != "interleaved-median" || doc.Count != 3 {
+		t.Fatalf("header = {pr:%d method:%q count:%d}, want {10 interleaved-median 3}", doc.PR, doc.Method, doc.Count)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	round := doc.Benchmarks["BenchmarkCampaignThroughput/table3/engine=round/workers=4-4"]
+	if round == nil {
+		t.Fatal("round benchmark missing")
+	}
+	// Medians of {99.41, 101.0, 95.00} and {352085111, 340000000, 360000000}.
+	if got := round["configs_sec"]; got != 99.41 {
+		t.Errorf("round configs_sec = %v, want 99.41", got)
+	}
+	if got := round["ns_op"]; got != 352085111 {
+		t.Errorf("round ns_op = %v, want 352085111", got)
+	}
+	if got := round["starved_refills"]; got != 38 {
+		t.Errorf("round starved_refills = %v, want 38", got)
+	}
+
+	mv := doc.Benchmarks["BenchmarkDistMatVecWorkspace-4"]
+	if mv == nil {
+		t.Fatal("matvec benchmark missing")
+	}
+	if got := mv["allocs_op"]; got != 0 {
+		t.Errorf("allocs_op = %v, want 0", got)
+	}
+	if got := mv["iterations"]; got != 1000 {
+		t.Errorf("iterations = %v, want 1000", got)
+	}
+}
+
+func TestCollectSingleRun(t *testing.T) {
+	doc, err := collect(strings.NewReader(
+		"BenchmarkX-8\t100\t123456 ns/op\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 1 {
+		t.Fatalf("count = %d, want 1", doc.Count)
+	}
+	if got := doc.Benchmarks["BenchmarkX-8"]["ns_op"]; got != 123456 {
+		t.Fatalf("ns_op = %v, want 123456", got)
+	}
+	// pr=0 must be omitted from the serialised document so artifacts
+	// without a PR number do not claim "pr": 0.
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), `"pr"`) {
+		t.Fatalf("pr field serialised despite being 0: %s", out)
+	}
+}
+
+func TestCollectEvenMedianAveragesMiddlePair(t *testing.T) {
+	doc, err := collect(strings.NewReader(
+		"BenchmarkY-8\t1\t10 configs/sec\nBenchmarkY-8\t1\t20 configs/sec\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Benchmarks["BenchmarkY-8"]["configs_sec"]; got != 15 {
+		t.Fatalf("configs_sec = %v, want 15", got)
+	}
+}
+
+func TestCollectRejectsEmptyInput(t *testing.T) {
+	if _, err := collect(strings.NewReader("PASS\nok  \tharmony\t1s\n"), 0); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func TestCollectSkipsFailLines(t *testing.T) {
+	doc, err := collect(strings.NewReader(
+		"BenchmarkBroken-8 --- FAIL: boom\nBenchmarkOK-8\t1\t5 ns/op\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.Benchmarks["BenchmarkBroken-8"]; ok {
+		t.Fatal("FAIL line parsed as a result")
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+}

@@ -29,6 +29,14 @@
 //	harmonyd [-addr host:port] [-quiet] [-cache file] [-shards n]
 //	         [-session-timeout d] [-report-timeout d] [-max-reissues n]
 //	         [-stats-interval d] [-surrogate] [-surrogate-keep f]
+//	         [-async-depth n]
+//
+// Sessions that register with the async flag run the pipelined
+// dispatch: the server keeps a bounded window of candidates in flight
+// per session and commits results to the search strategy in issue
+// order, so concurrent clients are never parked behind a round
+// barrier. -async-depth sets the default window for sessions that do
+// not choose their own.
 package main
 
 import (
@@ -53,6 +61,7 @@ func main() {
 	maxReissues := flag.Int("max-reissues", 0, "straggler re-issues before a configuration is forfeited (0 = default)")
 	statsInterval := flag.Duration("stats-interval", 0, "dump server counters (and apply deadlines) this often (0 = only on shutdown)")
 	shards := flag.Int("shards", 0, "session-table shards; higher values reduce lock contention under many tenants (0 = default)")
+	asyncDepth := flag.Int("async-depth", 0, "default in-flight candidate window for async-registered sessions (0 = built-in default)")
 	surrogateOn := flag.Bool("surrogate", false, "screen proposals of surrogate-flagged sessions with the analytic models of the case-study workloads")
 	surrogateKeep := flag.Float64("surrogate-keep", 0, "default fraction of each proposal round surrogate sessions actually evaluate, 0 < keep <= 1 (0 = built-in default)")
 	flag.Parse()
@@ -65,6 +74,7 @@ func main() {
 	s.ReportTimeout = *reportTimeout
 	s.MaxReissues = *maxReissues
 	s.Shards = *shards
+	s.AsyncDepth = *asyncDepth
 	if *surrogateOn {
 		s.Surrogate = surrogate.For
 		s.SurrogateKeep = *surrogateKeep

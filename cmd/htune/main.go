@@ -15,7 +15,7 @@
 //	{
 //	  "app": "myapp",
 //	  "machine": "cluster-a",
-//	  "strategy": "simplex",            // simplex|pro|coordinate|random|systematic|exhaustive
+//	  "strategy": "simplex",            // simplex|pro|coordinate|random|systematic|exhaustive|ensemble
 //	  "max_runs": 40,
 //	  "metric": "time",                 // "time" (wall clock) or "stdout" (last number printed)
 //	  "params": [
@@ -76,11 +76,19 @@ type Spec struct {
 	// once (distinct configurations launched concurrently). The
 	// command must tolerate concurrent invocations. 0 or 1 runs
 	// sequentially; the -workers flag overrides.
-	Workers int               `json:"workers"`
-	Metric  string            `json:"metric"`
-	Seed    int64             `json:"seed"`
-	Params  []proto.ParamSpec `json:"params"`
-	Command []string          `json:"command"`
+	Workers int `json:"workers"`
+	// Async selects the pipelined evaluation engine: benchmarking runs
+	// are issued from a bounded candidate queue and committed back to
+	// the strategy in issue order, so workers never wait at a round
+	// barrier. The -async flag overrides.
+	Async bool `json:"async"`
+	// AsyncDepth bounds the candidate queue of the pipelined engine
+	// (0 = engine default); the -async-depth flag overrides.
+	AsyncDepth int               `json:"async_depth"`
+	Metric     string            `json:"metric"`
+	Seed       int64             `json:"seed"`
+	Params     []proto.ParamSpec `json:"params"`
+	Command    []string          `json:"command"`
 }
 
 // cliOptions collects the command-line knobs passed down to run.
@@ -89,6 +97,8 @@ type cliOptions struct {
 	cachePath     string
 	cacheNS       string
 	workers       int
+	async         bool
+	asyncDepth    int
 	runTimeout    time.Duration
 	surrogate     bool
 	surrogateKeep float64
@@ -103,6 +113,8 @@ func main() {
 	flag.StringVar(&opts.cachePath, "cache", "", "persistent evaluation-cache file: repeated configurations are answered from prior sessions instead of re-run")
 	flag.StringVar(&opts.cacheNS, "cache-ns", "", "evaluation-cache namespace: campaigns in different namespaces never share measurements (empty = shared)")
 	flag.IntVar(&opts.workers, "workers", 0, "concurrent benchmarking runs (overrides the spec; 0/1 = sequential)")
+	flag.BoolVar(&opts.async, "async", false, "use the pipelined evaluation engine: runs issue from a bounded candidate queue with no per-round barrier (overrides the spec)")
+	flag.IntVar(&opts.asyncDepth, "async-depth", 0, "candidate-queue depth of the pipelined engine (overrides the spec; 0 = default)")
 	flag.DurationVar(&opts.runTimeout, "run-timeout", 0, "kill a benchmarking run exceeding this and count it failed (0 = no limit)")
 	flag.BoolVar(&opts.surrogate, "surrogate", false, "screen proposals with the analytic performance model for the spec's app: only the top-ranked fraction of each round is actually run (errors when no model covers the app)")
 	flag.Float64Var(&opts.surrogateKeep, "surrogate-keep", 0, "fraction of each proposal round the surrogate actually runs, 0 < keep <= 1 (0 = default)")
@@ -112,7 +124,7 @@ func main() {
 	flag.StringVar(&memprofile, "memprofile", "", "write a heap profile taken at session end to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-cache-ns name] [-workers N] [-run-timeout d] [-surrogate] [-surrogate-keep f] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
+		fmt.Fprintln(os.Stderr, "usage: htune [-history file] [-cache file] [-cache-ns name] [-workers N] [-async] [-async-depth N] [-run-timeout d] [-surrogate] [-surrogate-keep f] [-metrics] [-cpuprofile file] [-memprofile file] [-v] spec.json")
 		os.Exit(2)
 	}
 	stopProfiles, err := startProfiles(cpuprofile, memprofile)
@@ -206,7 +218,16 @@ func run(specPath string, cli cliOptions) error {
 	if cli.workers > 0 {
 		spec.Workers = cli.workers
 	}
-	opt := core.Options{MaxRuns: spec.MaxRuns, Workers: spec.Workers}
+	if cli.async {
+		spec.Async = true
+	}
+	if cli.asyncDepth > 0 {
+		spec.AsyncDepth = cli.asyncDepth
+	}
+	opt := core.Options{
+		MaxRuns: spec.MaxRuns, Workers: spec.Workers,
+		Async: spec.Async, AsyncDepth: spec.AsyncDepth,
+	}
 	if cli.surrogate {
 		model := surrogate.For(spec.App)
 		if model == nil {
@@ -245,6 +266,10 @@ func run(specPath string, cli cliOptions) error {
 	fmt.Printf("  total tuning cost: %.1f s of application time\n", res.TuningCost)
 	if res.SpeculativeRuns > 0 {
 		fmt.Printf("  speculative runs: %d launched ahead of need, %d used\n", res.SpeculativeRuns, res.SpeculativeHits)
+	}
+	if spec.Async {
+		fmt.Printf("  pipeline: worker occupancy %.0f%%, %d starved refills, %d idle slots\n",
+			100*res.WorkerOccupancy, res.QueueStarved, res.IdleSlots)
 	}
 	if cli.surrogate {
 		fmt.Printf("  surrogate: %d proposals pruned by the model, %d run, %d fallbacks\n",
@@ -289,6 +314,9 @@ func writeMetrics(w io.Writer, spec Spec, res *core.Result) {
 	fmt.Fprintf(w, "htune.surrogate.pruned %d\n", res.SurrogatePruned)
 	fmt.Fprintf(w, "htune.surrogate.kept %d\n", res.SurrogateKept)
 	fmt.Fprintf(w, "htune.surrogate.fallbacks %d\n", res.SurrogateFallbacks)
+	fmt.Fprintf(w, "htune.worker_occupancy %g\n", res.WorkerOccupancy)
+	fmt.Fprintf(w, "htune.queue_starved %d\n", res.QueueStarved)
+	fmt.Fprintf(w, "htune.idle_slots %d\n", res.IdleSlots)
 	best := res.BestConfig.Map()
 	names := make([]string, 0, len(best))
 	for name := range best {
@@ -312,6 +340,8 @@ func buildStrategy(spec Spec, sp *space.Space, seeds []space.Point) (search.Stra
 		return search.NewRandom(sp, spec.Seed, spec.MaxRuns), nil
 	case proto.StrategySystematic:
 		return search.NewSystematic(sp, spec.MaxRuns), nil
+	case proto.StrategyEnsemble:
+		return search.NewEnsemble(sp, search.EnsembleOptions{Seed: spec.Seed, Budget: spec.MaxRuns}), nil
 	case proto.StrategyExhaustive:
 		if sp.Size() > 100000 {
 			return nil, fmt.Errorf("space too large for exhaustive search (%d points)", sp.Size())

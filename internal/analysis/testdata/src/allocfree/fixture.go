@@ -123,6 +123,61 @@ func hotWithColdExit(ok bool) string {
 	return ""
 }
 
+// A fixed-capacity ring buffer is the steady-state shape of the
+// pipelined engine: the cursor helpers only index into a buffer sized
+// at construction, so they prove allocation-free, while a ring that
+// grows inside a steady-state helper is caught at the append.
+
+type ring struct {
+	buf  []int
+	head int
+	n    int
+}
+
+//harmonyvet:allocfree
+func (r *ring) push(v int) {
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+//harmonyvet:allocfree
+func (r *ring) pop() int {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+//harmonyvet:allocfree
+func hotRingCycle(r *ring, v int) int {
+	r.push(v)
+	return r.pop()
+}
+
+//harmonyvet:allocfree
+func hotRingGrow(r *ring, v int) {
+	r.buf = append(r.buf, v) // want `append may grow its backing array on the allocation-free path of hotRingGrow`
+	r.n++
+}
+
+// Growing the ring to its high-water capacity is legal when the grow
+// site carries its own amortisation proof, exactly like warmGrow.
+
+//harmonyvet:allocamortized the window grows once to the configured depth; steady-state polls reuse it
+func (r *ring) reserve(depth int) {
+	for cap(r.buf) < depth {
+		r.buf = append(r.buf, 0)
+	}
+	r.buf = r.buf[:depth]
+}
+
+//harmonyvet:allocfree
+func hotRingViaReserve(r *ring, v int) int {
+	r.reserve(8)
+	r.push(v)
+	return r.pop()
+}
+
 // A justified suppression keeps the finding out of the report.
 
 //harmonyvet:allocfree

@@ -151,6 +151,15 @@ type Registration struct {
 	// when Surrogate is set (0 < keep <= 1); 0 selects the server's
 	// default.
 	SurrogateKeep float64
+	// Async selects the pipelined dispatch: the server keeps a bounded
+	// window of candidates in flight and every Fetch may receive a
+	// different one, without waiting for a whole round to report. When
+	// both Async and Parallel are set, Async wins. As in parallel
+	// mode, each concurrent client needs its own Session (via Attach).
+	Async bool
+	// AsyncDepth bounds how many candidates the server keeps in
+	// flight for an Async session; 0 selects the server's default.
+	AsyncDepth int
 }
 
 // Session is a registered tuning session.
@@ -179,6 +188,8 @@ func (c *Client) Register(reg Registration) (*Session, error) {
 		CacheNS:       reg.CacheNS,
 		Surrogate:     reg.Surrogate,
 		SurrogateKeep: reg.SurrogateKeep,
+		Async:         reg.Async,
+		AsyncDepth:    reg.AsyncDepth,
 	}
 	reply, err := c.roundTrip(msg)
 	if err != nil {

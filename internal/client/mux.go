@@ -250,6 +250,8 @@ func (m *Mux) Register(reg Registration) (*MuxSession, error) {
 		CacheNS:       reg.CacheNS,
 		Surrogate:     reg.Surrogate,
 		SurrogateKeep: reg.SurrogateKeep,
+		Async:         reg.Async,
+		AsyncDepth:    reg.AsyncDepth,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,508 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"harmony/internal/search"
+	"harmony/internal/space"
+)
+
+// DefaultAsyncDepth is the pipelined engine's candidate-pipeline
+// capacity when Options.AsyncDepth is unset: up to this many issued
+// candidates may be awaiting their commit at once.
+const DefaultAsyncDepth = 8
+
+// asyncKind classifies one issued candidate of the pipeline.
+type asyncKind int
+
+const (
+	// asyncFresh launched an objective evaluation; charged to Runs.
+	asyncFresh asyncKind = iota
+	// asyncSpecHit consumes a speculative prefetch; charged to Runs.
+	asyncSpecHit
+	// asyncCacheHit was answered by Options.Cache; charged to Runs.
+	asyncCacheHit
+	// asyncFollower duplicates an earlier charged candidate; free.
+	asyncFollower
+	// asyncPruned was skipped by the surrogate model; free.
+	asyncPruned
+)
+
+// asyncCand is one sequence-numbered candidate of the issue/commit
+// pipeline. The predicted score of a pruned candidate and the
+// measured value of a charged one live in separate fields on purpose:
+// predictions choose what to evaluate and must never flow into the
+// measured accounts.
+type asyncCand struct {
+	kind   asyncKind
+	pt     space.Point
+	key    string
+	cfg    space.Config
+	job    *asyncJob  // evaluation backing a fresh or spec-hit candidate
+	leader *asyncCand // the charged candidate a follower duplicates
+	// cacheVal is the Options.Cache answer for a cache-hit candidate.
+	cacheVal float64
+	// score is the surrogate prediction for a pruned candidate.
+	score float64
+	// surKept marks a charged candidate the surrogate scored and
+	// committed to simulation.
+	surKept bool
+	// value/err hold the committed outcome, read by later followers.
+	value float64
+	err   error
+}
+
+// asyncJob is one objective evaluation in flight on the worker pool.
+// The coordinator writes the struct before launch and reads it only
+// after receiving it back on the results channel, which orders the
+// worker's writes before the reads.
+type asyncJob struct {
+	key    string
+	cfg    space.Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	value  float64
+	err    error
+	ran    bool // obj was actually invoked (not skipped by cancellation)
+	spec   bool // speculative prefetch, charged only if consumed
+	// discarded marks a speculative job whose point the strategy's
+	// state moved away from; its result is dropped on receipt.
+	discarded bool
+	// done is set by the coordinator when the result has been
+	// received; candidates backed by this job are then committable.
+	done bool
+}
+
+// asyncRing is the bounded in-flight candidate window: a fixed-
+// capacity FIFO indexed by issue order, so the head is always the
+// next candidate to commit. Capacity is fixed at construction; the
+// cursor helpers below are the steady-state bookkeeping of the
+// issue/commit loop and are annotated (and vet-enforced) allocation-
+// free — the pipeline allocates per candidate, never per poll.
+type asyncRing struct {
+	buf  []*asyncCand
+	head int
+	n    int
+}
+
+func newAsyncRing(depth int) *asyncRing {
+	return &asyncRing{buf: make([]*asyncCand, depth)}
+}
+
+//harmonyvet:allocfree
+func (r *asyncRing) full() bool { return r.n == len(r.buf) }
+
+//harmonyvet:allocfree
+func (r *asyncRing) free() int { return len(r.buf) - r.n }
+
+//harmonyvet:allocfree
+func (r *asyncRing) push(c *asyncCand) {
+	r.buf[(r.head+r.n)%len(r.buf)] = c
+	r.n++
+}
+
+// at returns the i-th in-flight candidate in issue order.
+//
+//harmonyvet:allocfree
+func (r *asyncRing) at(i int) *asyncCand { return r.buf[(r.head+i)%len(r.buf)] }
+
+//harmonyvet:allocfree
+func (r *asyncRing) pop() *asyncCand {
+	c := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return c
+}
+
+// ready reports whether the head candidate's outcome is in hand.
+//
+//harmonyvet:allocfree
+func (r *asyncRing) ready() bool {
+	if r.n == 0 {
+		return false
+	}
+	c := r.buf[r.head]
+	return c.job == nil || c.job.done
+}
+
+// TuneAsync drives the strategy against the objective through a
+// bounded issue/commit pipeline instead of round barriers: the
+// engine asks the strategy for candidates while earlier evaluations
+// are still in flight, workers evaluate them concurrently, and
+// results are committed to the strategy in exactly the order the
+// candidates were issued (out-of-order completions wait in the
+// sequence-numbered pipeline). The round-barrier engine pays the
+// slowest evaluation of every round; this engine pays it only when
+// the strategy genuinely cannot advance without it.
+//
+// Determinism: the issue/commit trace — and therefore every Result
+// field except WorkerOccupancy — is a pure function of the strategy,
+// the seed, and Options.AsyncDepth. Workers only decides how much of
+// the pipeline evaluates concurrently, so campaign fingerprints are
+// bit-identical for every worker count. Accounting carries the same
+// semantics as Tune: trials in proposal order, duplicates memoised,
+// MaxRuns never exceeded by in-flight work, pruned proposals charged
+// to no account, StopBelow ending the session at the earliest
+// qualifying measured commit.
+//
+// When the strategy stalls (every candidate it can currently justify
+// is in flight) and it speculates, free pipeline slots prefetch its
+// possible follow-up proposals, exactly as TuneParallel does with
+// spare workers — the stall events are deterministic commit-sequence
+// points, so the speculation schedule is too.
+func TuneAsync(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	depth := opt.AsyncDepth
+	if depth <= 0 {
+		depth = DefaultAsyncDepth
+	}
+	applyProposalDefault(&opt)
+
+	as := search.AsAsync(strat)
+	speculator, _ := as.(search.Speculator)
+	sur := newSurrogateState(opt.Surrogate)
+
+	res := &Result{Strategy: strat.Name(), BestValue: math.Inf(1), FirstValue: math.NaN()}
+	ring := newAsyncRing(depth)
+	leaders := make(map[string]*asyncCand) // charged candidates by key, issue order
+	spec := make(map[string]*asyncJob)     // outstanding speculative prefetches
+
+	// Worker pool: one goroutine per evaluation, gated to Workers
+	// concurrent objective calls by a semaphore. The coordinator is
+	// the only goroutine that touches the strategy, the result, or
+	// any map — workers communicate exclusively through the results
+	// channel.
+	sem := make(chan struct{}, workers)
+	resultsCh := make(chan *asyncJob)
+	sent, received := 0, 0
+	var busyNS atomic.Int64
+	started := time.Now()
+	launch := func(j *asyncJob) {
+		sent++
+		go func() {
+			sem <- struct{}{}
+			if j.ctx.Err() == nil {
+				j.ran = true
+				t0 := time.Now()
+				j.value, j.err = obj(j.ctx, j.cfg)
+				busyNS.Add(int64(time.Since(t0)))
+			} else {
+				j.err = j.ctx.Err()
+			}
+			<-sem
+			resultsCh <- j
+		}()
+	}
+	recv := func() *asyncJob {
+		j := <-resultsCh
+		received++
+		j.done = true
+		return j
+	}
+
+	var (
+		issuedProposals int  // candidates issued (committed + in flight)
+		issuedRuns      int  // charged candidates issued; bounds MaxRuns
+		exhausted       bool // stop issuing: run budget hit
+		abandoned       bool // the budget-hitting proposal, counted at exit
+		stopped         bool // StopBelow reached at a commit
+		decodeErr       error
+	)
+
+	// fill issues candidates until the pipeline is full, the strategy
+	// has nothing to offer, or a budget boundary is reached. It
+	// returns true when the strategy stalled with capacity to spare —
+	// the queue-starvation signal that triggers speculation.
+	fill := func() bool {
+		for !exhausted && !stopped && decodeErr == nil && !ring.full() && issuedProposals < opt.MaxProposals {
+			pt, ok := as.Ask()
+			if !ok {
+				return !as.Done()
+			}
+			key := pt.Key()
+			cfg, err := sp.Decode(pt)
+			if err != nil {
+				// Counted as a proposal on exit, exactly as in Tune;
+				// candidates issued before it still commit first.
+				decodeErr = fmt.Errorf("core: strategy %s proposed undecodable point %v: %w", strat.Name(), pt, err)
+				return false
+			}
+			c := &asyncCand{pt: pt, key: key, cfg: cfg}
+			if lead, ok := leaders[key]; ok {
+				c.kind, c.leader = asyncFollower, lead
+			} else {
+				kept, scored := true, false
+				var score float64
+				if sur != nil {
+					if scores, ok := sur.scoreBatch([]space.Point{pt}, []space.Config{cfg}); ok {
+						score, scored = scores[0], true
+						kept = sur.keepMask(scores)[0]
+					} else {
+						// Low-confidence model: evaluate this candidate.
+						res.SurrogateFallbacks++
+					}
+				}
+				if !kept {
+					c.kind, c.score = asyncPruned, score
+				} else {
+					if opt.MaxRuns > 0 && issuedRuns >= opt.MaxRuns {
+						exhausted, abandoned = true, true
+						return false
+					}
+					issuedRuns++
+					if scored {
+						sur.committed(score)
+						c.surKept = true
+					}
+					leaders[key] = c
+					if j, ok := spec[key]; ok {
+						delete(spec, key)
+						c.kind, c.job = asyncSpecHit, j
+					} else if cv, ok := lookupCache(opt, pt); ok {
+						c.kind, c.cacheVal = asyncCacheHit, cv
+					} else {
+						jctx, jcancel := context.WithCancel(ctx)
+						c.job = &asyncJob{key: key, cfg: cfg, ctx: jctx, cancel: jcancel}
+						launch(c.job)
+					}
+				}
+			}
+			issuedProposals++
+			ring.push(c)
+		}
+		return false
+	}
+
+	// speculate reconciles the outstanding prefetches with what the
+	// stalled strategy currently predicts: prefetches it no longer
+	// predicts are discarded, new predictions are launched into free
+	// pipeline slots. Mirrors TuneParallel: speculation only rides on
+	// capacity genuine candidates left idle, and only when there is
+	// more than one worker to ride on.
+	speculate := func() {
+		if speculator == nil || workers <= 1 || exhausted || stopped || decodeErr != nil {
+			return
+		}
+		want := speculator.Speculate(ring.free())
+		desired := make(map[string]bool, len(want))
+		var launchPts []space.Point
+		for _, pt := range want {
+			key := pt.Key()
+			if desired[key] {
+				continue
+			}
+			if _, ok := leaders[key]; ok {
+				continue
+			}
+			if _, ok := lookupCache(opt, pt); ok {
+				continue // the cache will answer it when proposed
+			}
+			desired[key] = true
+			if _, ok := spec[key]; !ok {
+				launchPts = append(launchPts, pt)
+			}
+		}
+		stale := make([]string, 0, len(spec))
+		for key := range spec {
+			if !desired[key] {
+				stale = append(stale, key)
+			}
+		}
+		sort.Strings(stale)
+		for _, key := range stale {
+			j := spec[key]
+			j.discarded = true
+			j.cancel()
+			delete(spec, key)
+		}
+		for _, pt := range launchPts {
+			if len(spec) >= ring.free() {
+				break
+			}
+			cfg, err := sp.Decode(pt)
+			if err != nil {
+				continue // never fail the session on a speculative point
+			}
+			jctx, jcancel := context.WithCancel(ctx)
+			j := &asyncJob{key: pt.Key(), cfg: cfg, ctx: jctx, cancel: jcancel, spec: true}
+			spec[pt.Key()] = j
+			res.SpeculativeRuns++
+			launch(j)
+		}
+	}
+
+	// finish cancels everything still outstanding, drains the worker
+	// pool, and settles the wall-clock diagnostics. Charged work that
+	// completed but was never committed (candidates past a StopBelow
+	// cut) counts as speculative wall-clock, as in TuneParallel.
+	finish := func() {
+		for i := 0; i < ring.n; i++ {
+			if j := ring.at(i).job; j != nil && !j.spec {
+				j.cancel()
+			}
+		}
+		keys := make([]string, 0, len(spec))
+		for key := range spec {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			spec[key].cancel()
+		}
+		for received < sent {
+			recv()
+		}
+		for i := 0; i < ring.n; i++ {
+			c := ring.at(i)
+			if c.kind == asyncFresh && c.job.ran {
+				res.SpeculativeRuns++
+			}
+		}
+		if span := time.Since(started); span > 0 {
+			res.WorkerOccupancy = float64(busyNS.Load()) / (float64(span.Nanoseconds()) * float64(workers))
+		}
+	}
+
+	// commitHead blocks until the head candidate's outcome is in hand
+	// and commits it: trial recorded, accounts charged, value
+	// delivered to the strategy — the same bookkeeping as Tune, in
+	// the same (issue) order.
+	commitHead := func() error {
+		for !ring.ready() {
+			j := recv()
+			if j.spec && !j.discarded && !j.ran {
+				// A prefetch cut short by cancellation is dropped; an
+				// on-demand proposal of its point must re-evaluate.
+				delete(spec, j.key)
+			}
+		}
+		c := ring.pop()
+		res.Proposals++
+		trial := Trial{Proposal: res.Proposals, Point: c.pt.Clone(), Config: c.cfg}
+		switch c.kind {
+		case asyncPruned:
+			// Answered with the model's prediction: logged, reported,
+			// charged to no account, never eligible for Best or any
+			// cache — PR 8's pruning invariants, per candidate.
+			res.SurrogatePruned++
+			trial.Value, trial.Pruned = c.score, true
+			res.Trials = append(res.Trials, trial)
+			as.Commit(c.pt, c.score)
+			return nil
+		case asyncFollower:
+			lead := c.leader
+			trial.Cached, trial.Value, trial.Err = true, lead.value, lead.err
+			res.Trials = append(res.Trials, trial)
+			as.Commit(c.pt, lead.value)
+			return nil
+		}
+		var v float64
+		var verr error
+		switch c.kind {
+		case asyncCacheHit:
+			v = c.cacheVal
+			res.CacheHits++
+		case asyncSpecHit:
+			res.SpeculativeHits++
+			v, verr = c.job.value, c.job.err
+		case asyncFresh:
+			v, verr = c.job.value, c.job.err
+		}
+		if verr != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		res.Runs++
+		trial.Run = res.Runs
+		if c.surKept {
+			res.SurrogateKept++
+		}
+		if opt.Cache != nil && c.kind != asyncCacheHit {
+			res.CacheMisses++
+		}
+		if verr != nil {
+			res.Failures++
+			v = math.Inf(1)
+			trial.Err = verr
+			// A failed run still paid its launch and teardown.
+			res.TuningCost += opt.RunOverhead
+		} else {
+			res.TuningCost += v + opt.RunOverhead
+			if opt.Cache != nil && c.kind != asyncCacheHit {
+				opt.Cache.Store(c.pt, v)
+			}
+		}
+		trial.Value = v
+		c.value, c.err = v, trial.Err
+		if math.IsNaN(res.FirstValue) {
+			res.FirstValue = v
+		}
+		if v < res.BestValue {
+			res.Best = c.pt.Clone()
+			res.BestConfig = c.cfg
+			res.BestValue = v
+			res.BestAtRun = res.Runs
+		}
+		if opt.Logf != nil {
+			opt.Logf("run %3d (proposal %3d): %s -> %.6g", res.Runs, res.Proposals, c.cfg.Format(), v)
+		}
+		res.Trials = append(res.Trials, trial)
+		as.Commit(c.pt, v)
+		if opt.StopBelow != 0 && res.BestValue <= opt.StopBelow {
+			stopped = true
+		}
+		return nil
+	}
+
+	// The engine: one refill pass after every commit, so the
+	// starvation accounting and the speculation schedule are pure
+	// functions of the commit sequence.
+	starved := fill()
+	if starved && ring.n > 0 {
+		res.QueueStarved++
+		res.IdleSlots += ring.free()
+		speculate()
+	}
+	for ring.n > 0 {
+		if err := ctx.Err(); err != nil {
+			finish()
+			return res, err
+		}
+		if err := commitHead(); err != nil {
+			finish()
+			return res, err
+		}
+		if stopped {
+			break
+		}
+		starved = fill()
+		if starved && ring.n > 0 {
+			res.QueueStarved++
+			res.IdleSlots += ring.free()
+			speculate()
+		}
+	}
+	finish()
+	if decodeErr != nil {
+		res.Proposals++ // the undecodable proposal, as in Tune
+		return res, decodeErr
+	}
+	if abandoned {
+		res.Proposals++ // the budget-hitting proposal, as in Tune
+	}
+	if !stopped && !exhausted && as.Done() {
+		res.Converged = true
+	}
+	if res.Runs == 0 {
+		return res, ErrNoEvaluations
+	}
+	return res, nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"harmony/internal/search"
 	"harmony/internal/space"
@@ -117,6 +119,20 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 	memo := make(map[string]cacheEntry)      // charged evaluations
 	specReady := make(map[string]cacheEntry) // prefetched, not yet charged
 	var stratMu sync.Mutex                   // the engine lock on the strategy
+
+	// Worker-occupancy accounting: busyNS integrates objective time
+	// across the pool, and the fraction of the campaign's worker-slot
+	// capacity it fills is reported in Result.WorkerOccupancy — the
+	// only non-deterministic Result field. QueueStarved/IdleSlots
+	// count the rounds whose job list could not cover the pool (the
+	// per-round barrier's structural idleness) and are deterministic.
+	var busyNS atomic.Int64
+	started := time.Now()
+	defer func() {
+		if span := time.Since(started); span > 0 {
+			res.WorkerOccupancy = float64(busyNS.Load()) / (float64(span.Nanoseconds()) * float64(workers))
+		}
+	}()
 
 	for res.Proposals < opt.MaxProposals {
 		if err := ctx.Err(); err != nil {
@@ -247,6 +263,12 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 		// the session deterministically ends at the earliest
 		// StopBelow proposal, exactly as in the sequential engine.
 		jobs := append(append([]*evalJob(nil), freshJobs...), specJobs...)
+		if workers > 1 && len(jobs) < workers {
+			// The round (plus speculation) cannot cover the pool: the
+			// barrier leaves slots idle until the round completes.
+			res.QueueStarved++
+			res.IdleSlots += workers - len(jobs)
+		}
 		if len(jobs) > 0 {
 			var stopMu sync.Mutex
 			stopPos := -1
@@ -266,7 +288,9 @@ func TuneParallel(ctx context.Context, sp *space.Space, strat search.Strategy, o
 							continue
 						}
 						j.ran = true
+						t0 := time.Now()
 						j.value, j.err = obj(j.ctx, j.cfg)
+						busyNS.Add(time.Since(t0).Nanoseconds())
 						if j.err == nil && opt.StopBelow != 0 && j.value <= opt.StopBelow && j.pos >= 0 {
 							stopMu.Lock()
 							if stopPos == -1 || j.pos < stopPos {

@@ -82,6 +82,22 @@ type Options struct {
 	// step. Result accounting (Runs, Trials, TuningCost, BestAtRun)
 	// is identical regardless of worker count.
 	Workers int
+	// Async routes the session through TuneAsync, the pipelined
+	// issue/commit engine: instead of fanning out one round and
+	// waiting at its barrier, the engine keeps a bounded pipeline of
+	// candidates in flight and commits results to the strategy in
+	// issue order. Accounting stays deterministic — it depends on
+	// AsyncDepth and the strategy, never on Workers or completion
+	// timing.
+	Async bool
+	// AsyncDepth is the pipelined engine's candidate-pipeline
+	// capacity: how many issued-but-uncommitted candidates it may
+	// hold. 0 selects DefaultAsyncDepth. The depth is deliberately
+	// independent of Workers (set it at least as large to keep every
+	// worker busy): the issue/commit trace is a pure function of
+	// depth and the strategy, so changing only Workers can never
+	// change the result.
+	AsyncDepth int
 	// Logf, if non-nil, receives one line per evaluation.
 	Logf func(format string, args ...any)
 }
@@ -161,6 +177,24 @@ type Result struct {
 	SurrogateKept      int
 	SurrogatePruned    int
 	SurrogateFallbacks int
+	// WorkerOccupancy is the measured fraction of available
+	// worker-seconds the session spent inside the objective:
+	// busy-time / (Workers × session wall clock). It is a wall-clock
+	// diagnostic — the only Result field that is not deterministic —
+	// and it is what makes the "parallel but starved" failure mode
+	// (throughput dropping as workers rise) observable directly. The
+	// sequential engine leaves it 0.
+	WorkerOccupancy float64
+	// QueueStarved counts the deterministic refill passes on which an
+	// engine had capacity for more in-flight work but the strategy
+	// could not propose: pipeline slots free but the strategy stalled
+	// on in-flight values (TuneAsync), or a round too small to fill
+	// the worker pool (TuneParallel).
+	QueueStarved int
+	// IdleSlots accumulates how many evaluation slots went unfilled
+	// over those starved passes — the integral of the starvation that
+	// QueueStarved counts events of.
+	IdleSlots int
 }
 
 // Improvement returns the fractional improvement of the best value
@@ -192,6 +226,9 @@ var ErrNoEvaluations = errors.New("core: tuning session performed no evaluations
 // point proposed twice (common for the snapped simplex) costs only
 // one application run.
 func Tune(ctx context.Context, sp *space.Space, strat search.Strategy, obj Objective, opt Options) (*Result, error) {
+	if opt.Async {
+		return TuneAsync(ctx, sp, strat, obj, opt)
+	}
 	if opt.Workers > 1 || (opt.Surrogate != nil && opt.Surrogate.Model != nil) {
 		// Surrogate sessions always use the parallel engine so that
 		// pruning decisions are taken round-by-round, identically for

@@ -101,6 +101,8 @@ const (
 
 	tagSurrogate     = 18
 	tagSurrogateKeep = 19
+	tagAsync         = 20
+	tagAsyncDepth    = 21
 )
 
 // WriteHandshake sends the magic plus version; used by the client to
@@ -293,6 +295,12 @@ func appendMessage(buf []byte, m *Message) ([]byte, error) {
 		buf = append(buf, tagSurrogateKeep)
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.SurrogateKeep))
 	}
+	if m.Async {
+		buf = append(buf, tagAsync, 1)
+	}
+	if m.AsyncDepth != 0 {
+		buf = binary.AppendVarint(append(buf, tagAsyncDepth), int64(m.AsyncDepth))
+	}
 	return append(buf, 0), nil
 }
 
@@ -472,6 +480,10 @@ func decodeMessage(d *decoder) *Message {
 			m.Surrogate = d.byte() != 0
 		case tagSurrogateKeep:
 			m.SurrogateKeep = d.float64()
+		case tagAsync:
+			m.Async = d.byte() != 0
+		case tagAsyncDepth:
+			m.AsyncDepth = int(d.varint())
 		default:
 			d.fail("unknown field tag %d", tag)
 		}

@@ -42,6 +42,7 @@ func TestBinaryMessageRoundTripAllFields(t *testing.T) {
 			Space: EncodeSpace(sp), Seed: -42, MaxRuns: 64, Reporters: 3,
 			Parallel: true, Seq: 7, CacheNS: "tenant-a",
 			Surrogate: true, SurrogateKeep: 0.25,
+			Async: true, AsyncDepth: 12,
 		},
 		{Type: TypeRegistered, Session: "s17", Seq: 7},
 		{Type: TypeFetch, Session: "s17", Seq: 8},

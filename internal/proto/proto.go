@@ -57,6 +57,7 @@ const (
 	StrategySystematic = "systematic"
 	StrategyExhaustive = "exhaustive"
 	StrategyPRO        = "pro"
+	StrategyEnsemble   = "ensemble"
 )
 
 // ParamSpec serialises one space.Param.
@@ -121,6 +122,17 @@ type Message struct {
 	// evaluate when Surrogate is set, 0 < keep <= 1; 0 selects the
 	// server's default.
 	SurrogateKeep float64 `json:"surrogate_keep,omitempty"`
+	// Async asks the server to drive the session through its
+	// pipelined issue/commit dispatcher instead of round barriers:
+	// concurrent fetches receive distinct candidates from a bounded
+	// in-flight window and the search strategy observes results in
+	// deterministic issue order, so a slow reporter delays only the
+	// commits behind it, not a whole round. Implies per-candidate
+	// surrogate screening when Surrogate is also set.
+	Async bool `json:"async,omitempty"`
+	// AsyncDepth bounds the in-flight candidate window of an async
+	// session; 0 selects the server's default depth.
+	AsyncDepth int `json:"async_depth,omitempty"`
 
 	// config / report: Tag identifies which outstanding proposal of a
 	// parallel session a configuration or report belongs to. The

@@ -541,13 +541,14 @@ func TestWriteStatsFormat(t *testing.T) {
 		"harmony.cache.hits", "harmony.cache.misses",
 		"harmony.surrogate.pruned", "harmony.surrogate.kept",
 		"harmony.surrogate.fallbacks",
+		"harmony.async.committed", "harmony.async.queue_starved",
 	} {
 		if !strings.Contains(out, metric+" ") {
 			t.Errorf("dump missing %q:\n%s", metric, out)
 		}
 	}
-	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 13 {
-		t.Errorf("dump has %d lines, want 13:\n%s", got, out)
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 15 {
+		t.Errorf("dump has %d lines, want 15:\n%s", got, out)
 	}
 }
 

@@ -127,6 +127,12 @@ type Server struct {
 	// one; 0 selects core.DefaultSurrogateKeep.
 	SurrogateKeep float64
 
+	// AsyncDepth is the default pipeline window of sessions that
+	// register with proto.Message.Async without choosing a depth of
+	// their own: how many candidates may be in flight at once before
+	// the oldest must commit. <= 0 selects core.DefaultAsyncDepth.
+	AsyncDepth int
+
 	// Shards is the number of independent session shards (see
 	// shard.go). Each session lives on exactly one shard, selected by
 	// hashing its id, and every protocol message locks only that
@@ -183,6 +189,21 @@ type session struct {
 	batch    search.BatchStrategy
 	round    *fanoutRound
 	nextTag  int
+
+	// Async pipelined dispatch state (see async.go). When async is
+	// set the session pulls candidates from asyncStrat one at a time
+	// into a window of at most asyncDepth and hands distinct
+	// candidates to concurrent clients; completed candidates commit
+	// to the strategy strictly in issue (seq) order, so the sequence
+	// the strategy observes never depends on client timing. All
+	// strategy calls stay under mu, as in parallel mode.
+	async          bool
+	asyncStrat     search.AsyncStrategy
+	asyncDepth     int
+	asyncSeq       int
+	asyncWindow    []*asyncIssue
+	asyncTags      map[int]*asyncTag
+	asyncExhausted bool // run budget hit; window drains, no new issues
 
 	// cache is the session's view of the server's evaluation cache,
 	// bound to (app, machine, namespace, space) at register time; nil
@@ -545,7 +566,22 @@ func (s *Server) register(msg *proto.Message) *proto.Message {
 		stats:         &s.stats,
 		lastActive:    now,
 	}
-	if msg.Parallel {
+	switch {
+	case msg.Async:
+		// Async wins when both dispatch modes are requested: the
+		// pipelined window subsumes round fan-out.
+		ss.async = true
+		ss.asyncStrat = search.AsAsync(strat)
+		depth := msg.AsyncDepth
+		if depth <= 0 {
+			depth = s.AsyncDepth
+		}
+		if depth <= 0 {
+			depth = core.DefaultAsyncDepth
+		}
+		ss.asyncDepth = depth
+		ss.asyncTags = make(map[int]*asyncTag)
+	case msg.Parallel:
 		ss.parallel = true
 		ss.batch = search.AsBatch(strat)
 	}
@@ -596,6 +632,12 @@ func buildStrategy(msg *proto.Message, sp *space.Space) (search.Strategy, error)
 		return search.NewSystematic(sp, budget), nil
 	case proto.StrategyPRO:
 		return search.NewPRO(sp, search.PROOptions{Seed: msg.Seed}), nil
+	case proto.StrategyEnsemble:
+		budget := msg.MaxRuns
+		if budget == 0 {
+			budget = search.DefaultEnsembleBudget
+		}
+		return search.NewEnsemble(sp, search.EnsembleOptions{Seed: msg.Seed, Budget: budget}), nil
 	case proto.StrategyExhaustive:
 		if sp.Size() > 1_000_000 {
 			return nil, fmt.Errorf("space too large for exhaustive search (%d points)", sp.Size())
@@ -658,12 +700,15 @@ func (ss *session) reissueLimit() int {
 }
 
 // noteMeasuredLocked shadows the best genuinely measured value of a
-// surrogate session. With a surrogate, the strategy's own best may be
-// a model prediction (pruned proposals are answered at their predicted
-// value), so best replies read this shadow instead. The point is
-// copied: rounds and strategies may reuse their backing arrays.
+// surrogate or async session. With a surrogate, the strategy's own
+// best may be a model prediction (pruned proposals are answered at
+// their predicted value); in async mode a round-buffered strategy
+// only learns values at full-round commits, so its best lags the
+// measurements the session already holds. Best replies read this
+// shadow instead. The point is copied: rounds and strategies may
+// reuse their backing arrays.
 func (ss *session) noteMeasuredLocked(pt space.Point, v float64) {
-	if ss.surGate == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+	if (ss.surGate == nil && !ss.async) || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	if !ss.measuredOK || v < ss.measuredVal {
@@ -692,6 +737,10 @@ func (ss *session) pruneBudget() int {
 // handling to expireRoundLocked.
 func (ss *session) expireStragglersLocked(now time.Time) {
 	if ss.reportTimeout <= 0 {
+		return
+	}
+	if ss.async {
+		ss.expireAsyncLocked(now)
 		return
 	}
 	if ss.parallel {
@@ -795,6 +844,9 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 	ss.lastActive = now
 	ss.stat().fetches.Add(1)
 	ss.expireStragglersLocked(now)
+	if ss.async {
+		return ss.fetchAsyncLocked(now)
+	}
 	if ss.parallel {
 		return ss.fetchParallelLocked(now)
 	}
@@ -871,7 +923,7 @@ func (ss *session) fetch(*proto.Message) *proto.Message {
 // strategy's best may be a point the model scored but nothing ever
 // ran.
 func (ss *session) bestOrCurrentLocked() *proto.Message {
-	if ss.surGate != nil && ss.measuredOK {
+	if (ss.surGate != nil || ss.async) && ss.measuredOK {
 		if cfg, err := ss.space.Decode(ss.measuredPt); err == nil {
 			return &proto.Message{Type: proto.TypeConfig, Values: cfg.Map(), Converged: true}
 		}
@@ -1080,6 +1132,9 @@ func (ss *session) report(msg *proto.Message) *proto.Message {
 	now := ss.now()
 	ss.lastActive = now
 	ss.expireStragglersLocked(now)
+	if ss.async {
+		return ss.reportAsyncLocked(msg)
+	}
 	if ss.parallel {
 		return ss.reportParallelLocked(msg)
 	}
@@ -1139,11 +1194,17 @@ func (ss *session) best(*proto.Message) *proto.Message {
 		value float64
 		ok    bool
 	)
-	if ss.surGate != nil {
+	switch {
+	case ss.surGate != nil:
 		// Surrogate sessions answer best queries only from genuine
 		// measurements: the strategy's best may hold a model prediction.
 		pt, value, ok = ss.measuredPt, ss.measuredVal, ss.measuredOK
-	} else {
+	case ss.async && ss.measuredOK:
+		// Async sessions prefer the measured shadow: a round-buffered
+		// strategy only learns values at full-round commits, so its
+		// best can lag measurements the session already holds.
+		pt, value, ok = ss.measuredPt, ss.measuredVal, true
+	default:
 		pt, value, ok = ss.strategy.Best()
 	}
 	if !ok {

@@ -254,6 +254,12 @@ func (ss *session) stragglerDeadlineLocked() (time.Time, bool) {
 			}
 		}
 	}
+	for _, iss := range ss.asyncTags {
+		d := iss.issued.Add(ss.reportTimeout)
+		if !have || d.Before(earliest) {
+			earliest, have = d, true
+		}
+	}
 	return earliest, have
 }
 
@@ -279,6 +285,11 @@ func (ss *session) effectiveLastActiveLocked(now time.Time) time.Time {
 			if d := iss.issued.Add(ss.reportTimeout); d.After(busyUntil) {
 				busyUntil = d
 			}
+		}
+	}
+	for _, iss := range ss.asyncTags {
+		if d := iss.issued.Add(ss.reportTimeout); d.After(busyUntil) {
+			busyUntil = d
 		}
 	}
 	if busyUntil.After(now) {

@@ -52,6 +52,14 @@ type Stats struct {
 	SurrogatePruned    int64
 	SurrogateKept      int64
 	SurrogateFallbacks int64
+	// AsyncCommitted counts candidates committed, in issue order, to
+	// the strategies of sessions running the pipelined async dispatch.
+	// QueueStarved counts fill passes where an async session's window
+	// had capacity but its strategy was stalled waiting on in-flight
+	// commits — the pipeline's analogue of an idle worker slot. Both
+	// are zero unless sessions register with the async flag.
+	AsyncCommitted int64
+	QueueStarved   int64
 }
 
 // counters is the live atomic backing of Stats. Sessions hold a
@@ -70,6 +78,8 @@ type counters struct {
 	surrogatePruned     atomic.Int64
 	surrogateKept       atomic.Int64
 	surrogateFallback   atomic.Int64
+	asyncCommitted      atomic.Int64
+	queueStarved        atomic.Int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -94,6 +104,8 @@ func (s *Server) Stats() Stats {
 		SurrogatePruned:     s.stats.surrogatePruned.Load(),
 		SurrogateKept:       s.stats.surrogateKept.Load(),
 		SurrogateFallbacks:  s.stats.surrogateFallback.Load(),
+		AsyncCommitted:      s.stats.asyncCommitted.Load(),
+		QueueStarved:        s.stats.queueStarved.Load(),
 	}
 }
 
@@ -119,6 +131,8 @@ func (s *Server) WriteStats(w io.Writer) error {
 		{"surrogate.pruned", st.SurrogatePruned},
 		{"surrogate.kept", st.SurrogateKept},
 		{"surrogate.fallbacks", st.SurrogateFallbacks},
+		{"async.committed", st.AsyncCommitted},
+		{"async.queue_starved", st.QueueStarved},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "harmony.%s %d\n", r.name, r.value); err != nil {
